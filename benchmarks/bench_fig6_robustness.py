@@ -1,0 +1,105 @@
+"""Figure 6 — model robustness and tuning difficulty.
+
+Left panel: CPGAN vs VGAE vs CondGen-R across a hyper-parameter grid
+(hidden width × learning rate); the spread of the quality metric across the
+grid measures robustness — "our method is obviously more robust".
+
+Right panel: CPGAN across training strategies (learning rate × decay),
+reporting the final-loss stability — the basis for the paper's choice of
+lr=0.001 with decay 0.3 per 400 epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import load_dataset, make_model
+from repro.core import CPGAN, CPGANConfig
+from repro.metrics import evaluate_generation
+
+HIDDEN = (16, 32, 64)
+RATES = (1e-3, 3e-3, 1e-2)
+
+
+def test_fig6_robustness(benchmark, settings, table):
+    spreads: dict[str, list[float]] = {"CPGAN": [], "VGAE": [], "CondGen-R": []}
+    tuning: dict[tuple, float] = {}
+
+    def run() -> None:
+        dataset = load_dataset(settings.datasets[0], settings)
+        epochs = min(settings.epochs, 150)
+        for hidden in HIDDEN:
+            for lr in RATES:
+                for name in spreads:
+                    if name == "CPGAN":
+                        model = make_model(
+                            "CPGAN", settings,
+                            epochs=epochs, hidden_dim=hidden,
+                            latent_dim=hidden // 2, learning_rate=lr,
+                        )
+                    else:
+                        model = make_model(
+                            name, settings,
+                            epochs=epochs, hidden_dim=hidden,
+                            latent_dim=hidden // 2, learning_rate=lr,
+                        )
+                    model.fit(dataset.graph)
+                    report = evaluate_generation(
+                        dataset.graph, model.generate(seed=1)
+                    )
+                    spreads[name].append(report.degree)
+        # Right panel: CPGAN lr/decay tuning traces.
+        for lr in RATES:
+            for decay in (1.0, 0.3):
+                config = CPGANConfig(
+                    epochs=epochs, learning_rate=lr,
+                    lr_decay_gamma=decay, lr_decay_every=max(epochs // 2, 1),
+                    hidden_dim=32, latent_dim=16,
+                )
+                model = CPGAN(config).fit(dataset.graph)
+                tuning[(lr, decay)] = float(
+                    np.mean(model.history.reconstruction[-10:])
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table.row("left: degree-MMD across 3x3 hyper-parameter grid")
+    table.row(f"{'Model':<12}{'mean':>10}{'std':>10}{'worst':>10}")
+    for name, values in spreads.items():
+        arr = np.asarray(values)
+        table.row(
+            f"{name:<12}{arr.mean():10.3e}{arr.std():10.3e}{arr.max():10.3e}"
+        )
+    table.row("right: CPGAN final reconstruction loss per (lr, decay)")
+    for (lr, decay), loss in tuning.items():
+        table.row(f"  lr={lr:<7} decay={decay:<4} final_loss={loss:.4f}")
+
+    # Render the two panels as SVG (paper Fig. 6).
+    from pathlib import Path
+
+    from repro.viz import LineChart, Series
+
+    out_dir = Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    left = LineChart(
+        title="Fig 6 (left): degree MMD across hyper-parameter grid",
+        x_label="grid configuration #", y_label="Deg. MMD", log_y=True,
+    )
+    for name, values in spreads.items():
+        left.add(Series(name, list(range(1, len(values) + 1)), values))
+    left.save(out_dir / "fig6_left.svg")
+    right = LineChart(
+        title="Fig 6 (right): CPGAN final loss per (lr, decay)",
+        x_label="setting #", y_label="final reconstruction loss",
+    )
+    keys = sorted(tuning)
+    right.add(
+        Series("CPGAN", list(range(1, len(keys) + 1)), [tuning[k] for k in keys])
+    )
+    right.save(out_dir / "fig6_right.svg")
+    table.row(f"[figures written {out_dir}/fig6_left.svg, fig6_right.svg]")
+
+    # Shape claims: CPGAN's spread across the grid is smaller than
+    # CondGen's (the paper's "more robust than other methods").
+    assert np.std(spreads["CPGAN"]) <= np.std(spreads["CondGen-R"]) + 1e-9
+    assert all(np.isfinite(v) for v in tuning.values())

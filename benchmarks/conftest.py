@@ -1,0 +1,60 @@
+"""Shared fixtures for the paper-table benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.  Each
+bench prints its rows (visible with ``pytest -s``) *and* writes them to
+``benchmarks/results/<table>.txt`` so the output survives pytest's capture.
+
+Scale knobs: ``REPRO_SCALE`` ∈ {small (default), medium, full} and
+``REPRO_SEEDS`` (see ``repro.bench.harness``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchSettings, settings_from_env
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return settings_from_env()
+
+
+class TableWriter:
+    """Collects table rows, prints them, and persists them to results/."""
+
+    def __init__(self, name: str, settings: BenchSettings) -> None:
+        self.name = name
+        self.lines: list[str] = [
+            f"# {name}  (REPRO_SCALE={settings.label}, "
+            f"dataset scale={settings.scale}, seeds={settings.seeds})"
+        ]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+        print(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+        print(f"[written {path}]")
+
+
+@pytest.fixture
+def table(request, settings) -> TableWriter:
+    writer = TableWriter(request.node.name.replace("test_", ""), settings)
+    yield writer
+    writer.flush()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Assemble benchmarks/results/REPORT.md from whatever tables exist."""
+    if RESULTS_DIR.exists() and any(RESULTS_DIR.glob("*.txt")):
+        from repro.bench.report import build_report
+
+        build_report(RESULTS_DIR, RESULTS_DIR / "REPORT.md")

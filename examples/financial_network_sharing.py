@@ -1,0 +1,82 @@
+"""Privacy-preserving sharing of a financial guarantee network.
+
+The paper's motivating application (§I): a bank holds a guarantee-loan
+network whose topology is commercially sensitive, but researchers need a
+structurally faithful surrogate.  CPGAN learns the network's distribution
+and emits synthetic graphs that preserve the community structure (the
+"dense loan relationships and financial institution groups" of Fig. 1)
+without reproducing the raw edges.
+
+Run:  python examples/financial_network_sharing.py
+"""
+
+import numpy as np
+
+from repro import CPGAN, CPGANConfig
+from repro.community import louvain
+from repro.datasets import community_graph
+from repro.graphs import graph_statistics
+from repro.metrics import evaluate_community_preservation, evaluate_generation
+
+
+def build_guarantee_network(seed: int = 7):
+    """A synthetic guarantee-loan network: dense institution groups with
+    heavy-tailed guarantee counts (a few large guarantors per group)."""
+    return community_graph(
+        num_nodes=300,
+        num_communities=18,
+        mean_degree=6.0,
+        exponent=2.1,       # strong hubs: big guarantors
+        mixing=0.15,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    observed, institution_groups = build_guarantee_network()
+    print(f"Private guarantee network: {observed}")
+    print(f"  {graph_statistics(observed).row()}")
+    print(f"  institution groups: {np.unique(institution_groups).size}")
+
+    model = CPGAN(
+        CPGANConfig(
+            epochs=400, hidden_dim=128, latent_dim=64,
+            node_embedding_dim=48, noise_scale=0.2, learning_rate=5e-3,
+        )
+    ).fit(observed)
+
+    # Release three synthetic snapshots instead of the real network.
+    releases = [model.generate(seed=s) for s in (1, 2, 3)]
+
+    print("\nReleased synthetic networks:")
+    for i, g in enumerate(releases, 1):
+        overlap = _edge_overlap(observed, g)
+        report = evaluate_community_preservation(observed, g)
+        print(
+            f"  release {i}: {g}  edge-overlap with private graph: "
+            f"{overlap:.0%}  {report.row()}"
+        )
+
+    print("\nStructural fidelity of release 1 (lower is better):")
+    print(" ", evaluate_generation(observed, releases[0]).row("release-1"))
+
+    # Downstream task check: do the released graphs support the same
+    # community analysis a researcher would run on the private one?
+    private_groups = louvain(observed, seed=0)
+    released_groups = louvain(releases[0], seed=0)
+    print(
+        f"\nDownstream community analysis: private graph has "
+        f"{private_groups.num_communities} groups (Q={private_groups.modularity:.2f}); "
+        f"release 1 has {released_groups.num_communities} "
+        f"(Q={released_groups.modularity:.2f})."
+    )
+
+
+def _edge_overlap(a, b) -> float:
+    edges_a = set(map(tuple, a.edge_array().tolist()))
+    edges_b = set(map(tuple, b.edge_array().tolist()))
+    return len(edges_a & edges_b) / max(len(edges_a), 1)
+
+
+if __name__ == "__main__":
+    main()

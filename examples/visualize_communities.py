@@ -1,0 +1,64 @@
+"""Reproduce the paper's Fig. 1: community structure of a real-life network.
+
+Renders three SVG panels into ``examples/output/``:
+
+1. the observed network with Louvain community colours (the Fig. 1
+   illustration),
+2. a CPGAN-simulated network with its own detected communities,
+3. an Erdős–Rényi graph of the same size for contrast (no communities).
+
+Run:  python examples/visualize_communities.py
+"""
+
+from pathlib import Path
+
+from repro import CPGAN, CPGANConfig
+from repro.baselines import ErdosRenyi
+from repro.community import louvain
+from repro.datasets import community_graph
+from repro.viz import draw_graph
+
+OUT_DIR = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    observed, __ = community_graph(
+        num_nodes=180, num_communities=8, mean_degree=6.0,
+        mixing=0.08, seed=3,
+    )
+    observed_labels = louvain(observed, seed=0).membership
+    draw_graph(
+        observed, observed_labels, OUT_DIR / "fig1_observed.svg",
+        title="Observed network (Louvain communities)",
+    )
+    print(f"fig1_observed.svg: {observed} "
+          f"({observed_labels.max() + 1} communities)")
+
+    model = CPGAN(
+        CPGANConfig(
+            epochs=300, hidden_dim=64, latent_dim=32,
+            node_embedding_dim=32, noise_scale=0.3, learning_rate=5e-3,
+        )
+    ).fit(observed)
+    simulated = model.generate(seed=1)
+    simulated_labels = louvain(simulated, seed=0).membership
+    draw_graph(
+        simulated, simulated_labels, OUT_DIR / "fig1_cpgan.svg",
+        title="CPGAN simulation (communities preserved)",
+    )
+    print(f"fig1_cpgan.svg: {simulated} "
+          f"({simulated_labels.max() + 1} communities)")
+
+    er = ErdosRenyi().fit(observed).generate(seed=1)
+    er_labels = louvain(er, seed=0).membership
+    draw_graph(
+        er, er_labels, OUT_DIR / "fig1_er.svg",
+        title="Erdős–Rényi (no community structure)",
+    )
+    print(f"fig1_er.svg: {er}")
+    print(f"\nAll panels in {OUT_DIR}/ — open them in a browser.")
+
+
+if __name__ == "__main__":
+    main()

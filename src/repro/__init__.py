@@ -1,0 +1,27 @@
+"""CPGAN reproduction — Efficient Learning-based Community-Preserving Graph
+Generation (ICDE 2022).
+
+Public API highlights::
+
+    from repro import CPGAN, CPGANConfig, Graph
+    from repro.datasets import load
+    from repro.metrics import evaluate_community_preservation
+
+    observed = load("citeseer", scale=0.1).graph
+    model = CPGAN(CPGANConfig(epochs=400)).fit(observed)
+    simulated = model.generate(seed=1)
+    print(evaluate_community_preservation(observed, simulated).row("CPGAN"))
+
+Sub-packages: ``repro.nn`` (NumPy autograd substrate), ``repro.graphs``
+(graph data structure + statistics), ``repro.community`` (Louvain, NMI/ARI),
+``repro.metrics`` (MMD + evaluation), ``repro.baselines`` (14 comparison
+generators), ``repro.core`` (CPGAN), ``repro.datasets`` (Table II
+stand-ins), ``repro.bench`` (table/figure harness).
+"""
+
+from .core import CPGAN, CPGANConfig
+from .graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["CPGAN", "CPGANConfig", "Graph", "__version__"]

@@ -1,0 +1,42 @@
+"""``repro.baselines`` — every generator the paper compares CPGAN against."""
+
+from .base import GraphGenerator, MemoryBudgetExceeded, NotFittedError
+from .blockmodels import (
+    BTER,
+    DegreeCorrectedSBM,
+    MixedMembershipSBM,
+    StochasticBlockModel,
+)
+from .classic import BarabasiAlbert, ChungLu, ErdosRenyi, sample_gnm
+from .kronecker import KroneckerGraph
+from .watts_strogatz import WattsStrogatz
+from .learned import (
+    CondGenR,
+    Graphite,
+    GraphRNNS,
+    NetGAN,
+    SBMGNN,
+    VGAE,
+)
+
+__all__ = [
+    "GraphGenerator",
+    "NotFittedError",
+    "MemoryBudgetExceeded",
+    "ErdosRenyi",
+    "BarabasiAlbert",
+    "ChungLu",
+    "sample_gnm",
+    "StochasticBlockModel",
+    "DegreeCorrectedSBM",
+    "MixedMembershipSBM",
+    "BTER",
+    "KroneckerGraph",
+    "WattsStrogatz",
+    "VGAE",
+    "Graphite",
+    "SBMGNN",
+    "GraphRNNS",
+    "NetGAN",
+    "CondGenR",
+]

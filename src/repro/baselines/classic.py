@@ -1,0 +1,162 @@
+"""Classic random-graph baselines: E-R, B-A and Chung-Lu.
+
+All three fit their few parameters from the observed graph:
+
+* :class:`ErdosRenyi` — edge probability ``p = 2m / (n(n-1))``.
+* :class:`BarabasiAlbert` — attachment count ``m_a ≈ m / n`` (preferential
+  attachment, scale-free degrees).
+* :class:`ChungLu` — the expected-degree model: each node keeps the observed
+  degree as a weight; edges drawn by weighted endpoint pairing, giving
+  expected degrees equal to the observed ones in O(m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import Graph
+from .base import GraphGenerator, rng_from_seed
+
+__all__ = ["ErdosRenyi", "BarabasiAlbert", "ChungLu", "sample_gnm"]
+
+
+def sample_gnm(num_nodes: int, num_edges: int, rng: np.random.Generator) -> Graph:
+    """Uniformly sample a simple graph with exactly ``num_edges`` edges.
+
+    Rejection-free for the sparse regime: draws edge *codes* (pair indices)
+    without replacement from the n·(n-1)/2 possible pairs.
+    """
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    num_edges = min(num_edges, max_edges)
+    if num_edges == 0:
+        return Graph.empty(num_nodes)
+    if num_edges > max_edges // 2:
+        # Dense regime: enumerate all pairs and choose without replacement.
+        iu, ju = np.triu_indices(num_nodes, k=1)
+        picked = rng.choice(max_edges, size=num_edges, replace=False)
+        return Graph.from_edges(
+            num_nodes, np.column_stack([iu[picked], ju[picked]])
+        )
+    # Sparse regime: rejection sampling of endpoint pairs (collision rate
+    # is < 1/2 because num_edges <= max_edges / 2).
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        need = num_edges - len(edges)
+        us = rng.integers(0, num_nodes, size=2 * need + 8)
+        vs = rng.integers(0, num_nodes, size=2 * need + 8)
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            edges.add((int(min(u, v)), int(max(u, v))))
+            if len(edges) >= num_edges:
+                break
+    return Graph.from_edges(num_nodes, np.array(sorted(edges), dtype=np.int64))
+
+
+class ErdosRenyi(GraphGenerator):
+    """G(n, m): uniform random graph matching the observed edge count."""
+
+    name = "E-R"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.num_nodes = 0
+        self.num_edges = 0
+
+    def fit(self, graph: Graph) -> "ErdosRenyi":
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        self._mark_fitted(graph)
+        return self
+
+    def generate(self, seed: int = 0) -> Graph:
+        self._require_fitted()
+        return sample_gnm(self.num_nodes, self.num_edges, rng_from_seed(seed))
+
+
+class BarabasiAlbert(GraphGenerator):
+    """Preferential attachment with m_a = round(m/n) edges per new node."""
+
+    name = "B-A"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.num_nodes = 0
+        self.attach = 1
+
+    def fit(self, graph: Graph) -> "BarabasiAlbert":
+        self.num_nodes = graph.num_nodes
+        self.attach = max(1, round(graph.num_edges / max(graph.num_nodes, 1)))
+        self._mark_fitted(graph)
+        return self
+
+    def generate(self, seed: int = 0) -> Graph:
+        self._require_fitted()
+        rng = rng_from_seed(seed)
+        n, m_a = self.num_nodes, self.attach
+        if n <= m_a:
+            return sample_gnm(n, n * (n - 1) // 2, rng)
+        # repeated_nodes implements the preferential-attachment urn.
+        edges: list[tuple[int, int]] = []
+        repeated: list[int] = list(range(m_a))
+        for new in range(m_a, n):
+            targets: set[int] = set()
+            while len(targets) < min(m_a, new):
+                pick = repeated[rng.integers(0, len(repeated))] if repeated else int(
+                    rng.integers(0, new)
+                )
+                targets.add(pick)
+            for t in targets:
+                edges.append((new, t))
+                repeated.append(t)
+                repeated.append(new)
+        return Graph.from_edges(n, edges)
+
+
+class ChungLu(GraphGenerator):
+    """Expected-degree random graph (Chung & Lu 2002).
+
+    Samples ``m`` edges by drawing both endpoints proportionally to the
+    observed degrees; duplicate edges and self-loops are rejected, matching
+    the standard fast Chung-Lu sampler.
+    """
+
+    name = "Chung-Lu"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.weights: np.ndarray | None = None
+        self.num_edges = 0
+
+    def fit(self, graph: Graph) -> "ChungLu":
+        self.weights = graph.degrees.astype(float)
+        self.num_edges = graph.num_edges
+        self._mark_fitted(graph)
+        return self
+
+    def generate(self, seed: int = 0) -> Graph:
+        self._require_fitted()
+        rng = rng_from_seed(seed)
+        w = self.weights
+        n = w.size
+        total = w.sum()
+        if total == 0:
+            return Graph.empty(n)
+        p = w / total
+        edges: set[tuple[int, int]] = set()
+        attempts = 0
+        max_attempts = 20 * self.num_edges + 100
+        while len(edges) < self.num_edges and attempts < max_attempts:
+            need = self.num_edges - len(edges)
+            us = rng.choice(n, size=2 * need + 8, p=p)
+            vs = rng.choice(n, size=2 * need + 8, p=p)
+            for u, v in zip(us, vs):
+                if u == v:
+                    continue
+                edge = (int(min(u, v)), int(max(u, v)))
+                if edge not in edges:
+                    edges.add(edge)
+                    if len(edges) >= self.num_edges:
+                        break
+            attempts += need
+        return Graph.from_edges(n, np.array(sorted(edges), dtype=np.int64))

@@ -1,0 +1,48 @@
+"""Shared building blocks of the learning-based baselines.
+
+Every deep baseline in the paper's comparison (VGAE, Graphite, SBMGNN,
+CondGen) follows the same skeleton: a GCN encoder over the observed graph,
+a dense edge decoder, and full-graph training with a class-balanced BCE.
+The dense n×n target/score matrices are the reason these models OOM on the
+paper's large datasets — the ``dense_square_bytes`` helper feeds that same
+O(n²) accounting into the memory model of the benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+
+__all__ = ["GCNEncoder", "balanced_bce_weight", "dense_square_bytes"]
+
+
+class GCNEncoder(nn.Module):
+    """Two-layer GCN producing node hidden states."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.conv1 = nn.GraphConv(in_dim, hidden_dim, rng, activation="relu")
+        self.conv2 = nn.GraphConv(hidden_dim, hidden_dim, rng, activation="identity")
+
+    def forward(self, adj_norm, features) -> nn.Tensor:
+        x = nn.as_tensor(features)
+        return self.conv2(self.conv1(x, adj_norm), adj_norm)
+
+
+def balanced_bce_weight(target: np.ndarray) -> np.ndarray:
+    """Per-entry weights balancing the sparse positive class."""
+    num_pos = target.sum()
+    n2 = target.size
+    pos_weight = (n2 - num_pos) / num_pos if num_pos > 0 else 1.0
+    weight = np.where(target > 0, pos_weight, 1.0)
+    return weight / weight.mean()
+
+
+def dense_square_bytes(num_nodes: int, copies: int = 4) -> int:
+    """Bytes for ``copies`` dense float64 n×n matrices."""
+    return copies * 8 * num_nodes * num_nodes

@@ -1,0 +1,45 @@
+"""``repro.bench`` — experiment harness regenerating the paper's tables."""
+
+from .harness import (
+    ALL_MODELS,
+    BenchSettings,
+    CommunityCell,
+    LEARNED_MODELS,
+    QualityCell,
+    TRADITIONAL_MODELS,
+    format_mean_std,
+    load_dataset,
+    make_model,
+    run_community_cell,
+    run_quality_cell,
+    settings_from_env,
+)
+from .memory import (
+    PAPER_BUDGET_BYTES,
+    TRAINING_OVERHEAD,
+    check_memory,
+    host_memory_budget,
+    measure_peak_memory,
+    scaled_budget,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "TRADITIONAL_MODELS",
+    "LEARNED_MODELS",
+    "BenchSettings",
+    "CommunityCell",
+    "QualityCell",
+    "format_mean_std",
+    "load_dataset",
+    "make_model",
+    "run_community_cell",
+    "run_quality_cell",
+    "settings_from_env",
+    "PAPER_BUDGET_BYTES",
+    "TRAINING_OVERHEAD",
+    "check_memory",
+    "host_memory_budget",
+    "measure_peak_memory",
+    "scaled_budget",
+]

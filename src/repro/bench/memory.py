@@ -1,0 +1,99 @@
+"""Memory budget model — the OOM simulation of Tables III/IV/VII–IX.
+
+The paper runs every model on a 24 GB GPU; the learning-based baselines OOM
+on the larger datasets because they materialise dense O(n²) intermediates.
+We reproduce the pattern analytically: every generator reports its dominant
+working set via ``estimated_peak_memory(n)`` and the bench guard compares it
+(times a fixed training-overhead factor for gradients/Adam state) against a
+budget.  At full dataset scale the budget is the paper's 24 GB; scaled-down
+stand-ins scale the budget by ``scale²`` so the *pattern* of OOM cells is
+preserved.
+
+``measure_peak_memory`` additionally measures real allocations via
+``tracemalloc`` for Table IX.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Callable
+
+from ..baselines.base import GraphGenerator, MemoryBudgetExceeded
+
+__all__ = [
+    "PAPER_BUDGET_BYTES",
+    "TRAINING_OVERHEAD",
+    "NUMPY_TRAINING_OVERHEAD",
+    "scaled_budget",
+    "check_memory",
+    "measure_peak_memory",
+    "host_memory_budget",
+]
+
+#: The paper's GPU: NVIDIA RTX 3090, 24 GB.
+PAPER_BUDGET_BYTES = 24 * 2**30
+
+#: Gradients + Adam moments + transient activations over the raw estimate —
+#: calibrated to a GPU framework (PyTorch frees intermediates aggressively
+#: and trains in float32).  This factor drives the paper-budget OOM cells.
+TRAINING_OVERHEAD = 1.6
+
+#: The same overhead on THIS repo's NumPy substrate: the define-by-run
+#: autograd retains every float64 forward intermediate until backward
+#: completes (measured ~130 n²-sized arrays for a dense VGAE epoch vs the
+#: 6-copy analytic estimate).  The timing benches use it against the host's
+#: real RAM so dense models print "-" instead of crashing the machine.
+NUMPY_TRAINING_OVERHEAD = 24.0
+
+
+def scaled_budget(scale: float) -> int:
+    """Budget for stand-ins at ``scale`` of the published node counts.
+
+    Dense-matrix working sets scale with n², so the equivalent budget
+    scales with ``scale²``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(int(PAPER_BUDGET_BYTES * scale * scale), 1)
+
+
+def check_memory(
+    model: GraphGenerator,
+    num_nodes: int,
+    budget: int = PAPER_BUDGET_BYTES,
+    overhead: float = TRAINING_OVERHEAD,
+) -> None:
+    """Raise :class:`MemoryBudgetExceeded` when the model cannot fit."""
+    required = int(model.estimated_peak_memory(num_nodes) * overhead)
+    if required > budget:
+        raise MemoryBudgetExceeded(model.name, required, budget)
+
+
+def host_memory_budget(fraction: float = 0.4) -> int:
+    """A safe share of the host's currently *available* RAM.
+
+    The timing benches actually run every model, so in addition to the
+    paper's 24 GB GPU budget they must respect the CPU host: models whose
+    estimated working set exceeds this print "-" instead of crashing the
+    machine.  Falls back to 4 GiB when /proc/meminfo is unavailable.
+    """
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    kib = int(line.split()[1])
+                    return int(kib * 1024 * fraction)
+    except OSError:
+        pass
+    return 4 * 2**30
+
+
+def measure_peak_memory(fn: Callable[[], object]) -> tuple[object, int]:
+    """Run ``fn`` and return (result, peak traced bytes)."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        __, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

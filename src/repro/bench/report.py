@@ -1,0 +1,100 @@
+"""Assemble ``benchmarks/results/*.txt`` into one markdown report.
+
+After running the bench suite, ``python -m repro.bench.report`` (or the
+:func:`build_report` API) collects every persisted table into a single
+markdown document — handy for comparing runs at different ``REPRO_SCALE``
+settings or machines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import sys
+from pathlib import Path
+
+__all__ = ["build_report", "main"]
+
+_ORDER = [
+    "table2_dataset_standins",
+    "table3_community_preservation",
+    "table4_generation_quality",
+    "table5_reconstruction",
+    "table6_ablation",
+    "table7_inference_time",
+    "table8_training_time",
+    "table9_memory",
+    "fig5_sensitivity",
+    "fig6_robustness",
+    "ablation_sampling_strategy",
+    "ablation_assembly_strategy",
+]
+
+_TITLES = {
+    "table2_dataset_standins": "Table II — dataset stand-ins",
+    "table3_community_preservation": "Table III — community preservation",
+    "table4_generation_quality": "Table IV — generation quality",
+    "table5_reconstruction": "Table V — reconstruction",
+    "table6_ablation": "Table VI — ablation",
+    "table7_inference_time": "Table VII — inference time (s)",
+    "table8_training_time": "Table VIII — training time (s)",
+    "table9_memory": "Table IX — peak training memory (MiB)",
+    "fig5_sensitivity": "Figure 5 — parameter sensitivity",
+    "fig6_robustness": "Figure 6 — robustness",
+    "ablation_sampling_strategy": "Extension — sampling-strategy ablation",
+    "ablation_assembly_strategy": "Extension — assembly-strategy ablation",
+}
+
+
+def build_report(results_dir: str | Path, output: str | Path | None = None) -> str:
+    """Collect all result tables into one markdown string (and file)."""
+    results_dir = Path(results_dir)
+    lines = [
+        "# CPGAN reproduction — benchmark report",
+        "",
+        f"- generated: {datetime.datetime.now().isoformat(timespec='seconds')}",
+        f"- python: {platform.python_version()} on {platform.system()}",
+        "",
+    ]
+    found = False
+    for stem in _ORDER:
+        path = results_dir / f"{stem}.txt"
+        if not path.exists():
+            continue
+        found = True
+        lines.append(f"## {_TITLES.get(stem, stem)}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    # Any extra results not in the canonical order.
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.stem not in _ORDER:
+            found = True
+            lines.append(f"## {path.stem}")
+            lines.append("")
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+            lines.append("")
+    if not found:
+        lines.append("_No result tables found — run `pytest benchmarks/ "
+                     "--benchmark-only` first._")
+    text = "\n".join(lines)
+    if output is not None:
+        Path(output).write_text(text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results = Path(argv[0]) if argv else Path("benchmarks/results")
+    output = Path(argv[1]) if len(argv) > 1 else results / "REPORT.md"
+    build_report(results, output)
+    print(f"report written to {output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""``repro.community`` — Louvain detection, modularity, partition metrics."""
+
+from .kmeans import kmeans, spectral_clustering
+from .louvain import LouvainResult, hierarchical_labels, louvain
+from .modularity import modularity
+from .partition_metrics import (
+    adjusted_rand_index,
+    contingency_table,
+    mutual_information,
+    normalized_mutual_information,
+    rand_index,
+)
+
+__all__ = [
+    "kmeans",
+    "spectral_clustering",
+    "louvain",
+    "LouvainResult",
+    "hierarchical_labels",
+    "modularity",
+    "contingency_table",
+    "rand_index",
+    "adjusted_rand_index",
+    "mutual_information",
+    "normalized_mutual_information",
+]

@@ -1,0 +1,70 @@
+"""k-means and spectral clustering, from scratch.
+
+The classical block models (SBM/DCSBM/MMSB) are fitted in the standard way:
+spectral embedding of the adjacency followed by k-means on the node
+embeddings (the default recipe of mainstream SBM implementations).  Unlike
+handing the models the Louvain partition of the very graph being evaluated,
+this is an honest fitting procedure — on messy graphs it recovers the block
+structure only partially, which is the regime the paper's Table III scores
+for these models reflect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import Graph, spectral_embedding
+
+__all__ = ["kmeans", "spectral_clustering"]
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    max_iter: int = 50,
+) -> np.ndarray:
+    """Lloyd's algorithm with k-means++ initialisation. Returns labels."""
+    n = points.shape[0]
+    num_clusters = min(num_clusters, n)
+    if num_clusters <= 1:
+        return np.zeros(n, dtype=np.int64)
+    # k-means++ seeding.
+    centers = [points[rng.integers(0, n)]]
+    for _ in range(num_clusters - 1):
+        d2 = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(0, n)])
+            continue
+        centers.append(points[rng.choice(n, p=d2 / total)])
+    centers = np.array(centers)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iter):
+        dists = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(num_clusters):
+            mask = labels == c
+            if mask.any():
+                centers[c] = points[mask].mean(axis=0)
+    __, labels = np.unique(labels, return_inverse=True)
+    return labels
+
+
+def spectral_clustering(
+    graph: Graph, num_clusters: int, seed: int = 0
+) -> np.ndarray:
+    """Spectral embedding + k-means node clustering."""
+    if graph.num_nodes == 0:
+        return np.zeros(0, dtype=np.int64)
+    dim = max(num_clusters, 2)
+    emb = spectral_embedding(graph, dim=dim, seed=seed)
+    # Row-normalise (standard for spectral clustering on graphs).
+    norms = np.linalg.norm(emb, axis=1, keepdims=True)
+    emb = emb / np.maximum(norms, 1e-12)
+    return kmeans(emb, num_clusters, np.random.default_rng(seed))

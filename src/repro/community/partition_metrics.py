@@ -1,0 +1,114 @@
+"""Partition-similarity metrics: RI, ARI, MI, NMI (paper Eqs. 1–3).
+
+These evaluate community preservation: the Louvain partition of the observed
+graph is compared against the Louvain partition of a generated graph (the
+paper assumes a bijective node mapping — generated graphs keep node ids).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "contingency_table",
+    "rand_index",
+    "adjusted_rand_index",
+    "mutual_information",
+    "normalized_mutual_information",
+]
+
+
+def _as_codes(labels) -> np.ndarray:
+    labels = np.asarray(labels)
+    __, codes = np.unique(labels, return_inverse=True)
+    return codes
+
+
+def contingency_table(labels_a, labels_b) -> np.ndarray:
+    """Dense contingency table n_ij = |{v : a(v)=i, b(v)=j}| (paper Fig. 2)."""
+    a = _as_codes(labels_a)
+    b = _as_codes(labels_b)
+    if a.shape != b.shape:
+        raise ValueError("label arrays must have equal length")
+    r, c = a.max() + 1, b.max() + 1
+    table = sp.coo_matrix(
+        (np.ones(a.size), (a, b)), shape=(r, c)
+    ).toarray()
+    return table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1.0) / 2.0
+
+
+def rand_index(labels_a, labels_b) -> float:
+    """Plain Rand Index (paper Eq. 1)."""
+    table = contingency_table(labels_a, labels_b)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_ij = _comb2(table).sum()
+    sum_a = _comb2(table.sum(axis=1)).sum()
+    sum_b = _comb2(table.sum(axis=0)).sum()
+    total = _comb2(np.array(n))
+    tp = sum_ij
+    fp = sum_a - sum_ij
+    fn = sum_b - sum_ij
+    tn = total - tp - fp - fn
+    return float((tp + tn) / total)
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """ARI — Rand Index corrected for chance (paper Eq. 2)."""
+    table = contingency_table(labels_a, labels_b)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_ij = _comb2(table).sum()
+    sum_a = _comb2(table.sum(axis=1)).sum()
+    sum_b = _comb2(table.sum(axis=0)).sum()
+    total = _comb2(np.array(n))
+    expected = sum_a * sum_b / total
+    max_index = (sum_a + sum_b) / 2.0
+    denom = max_index - expected
+    if abs(denom) < 1e-15:
+        # Both partitions trivial (all-singletons or single cluster).
+        return 1.0 if np.array_equal(_as_codes(labels_a), _as_codes(labels_b)) else 0.0
+    return float((sum_ij - expected) / denom)
+
+
+def mutual_information(labels_a, labels_b) -> float:
+    """MI in nats (paper Eq. 3)."""
+    table = contingency_table(labels_a, labels_b)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    p = table / n
+    pa = p.sum(axis=1, keepdims=True)
+    pb = p.sum(axis=0, keepdims=True)
+    mask = p > 0
+    ratio = np.where(mask, p / (pa @ pb + 1e-300), 1.0)
+    return float(np.sum(np.where(mask, p * np.log(ratio), 0.0)))
+
+
+def _entropy(labels) -> float:
+    codes = _as_codes(labels)
+    counts = np.bincount(codes).astype(float)
+    p = counts / counts.sum()
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+def normalized_mutual_information(labels_a, labels_b) -> float:
+    """NMI with arithmetic-mean normalisation (scikit-learn default)."""
+    h_a = _entropy(labels_a)
+    h_b = _entropy(labels_b)
+    if h_a == 0.0 and h_b == 0.0:
+        # Both partitions are single clusters — identical by definition.
+        return 1.0
+    denom = (h_a + h_b) / 2.0
+    if denom == 0.0:
+        return 0.0
+    mi = mutual_information(labels_a, labels_b)
+    return float(np.clip(mi / denom, 0.0, 1.0))

@@ -1,0 +1,30 @@
+"""``repro.core`` — CPGAN, the paper's primary contribution."""
+
+from .config import CPGANConfig
+from .decoder import GraphDecoder
+from .discriminator import Discriminator
+from .encoder import EncoderOutput, LadderEncoder
+from .model import CPGAN, TrainingHistory
+from .multigraph import CPGANMultiGraph
+from .persistence import load_model, save_model
+from .reconstruction import EdgeSplit, edge_set_nll, sample_non_edges, split_edges
+from .variational import LatentDistributions, VariationalInference
+
+__all__ = [
+    "CPGAN",
+    "CPGANMultiGraph",
+    "CPGANConfig",
+    "TrainingHistory",
+    "LadderEncoder",
+    "EncoderOutput",
+    "GraphDecoder",
+    "Discriminator",
+    "VariationalInference",
+    "LatentDistributions",
+    "save_model",
+    "load_model",
+    "EdgeSplit",
+    "split_edges",
+    "sample_non_edges",
+    "edge_set_nll",
+]

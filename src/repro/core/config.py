@@ -1,0 +1,88 @@
+"""Configuration for CPGAN training and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CPGANConfig"]
+
+
+@dataclass
+class CPGANConfig:
+    """Hyper-parameters of CPGAN (defaults follow §IV-A, scaled for CPU).
+
+    The paper trains with graph-convolution kernel size 128, pooling size
+    256, two hierarchy levels, spectral input dimension 4, learning rate
+    0.001 with decay 0.3 every 400 epochs.  The structural hyper-parameters
+    are identical here; the widths default smaller because the NumPy
+    substrate runs on CPU (raise ``hidden_dim``/``epochs`` to match the
+    paper exactly).
+    """
+
+    # Architecture ----------------------------------------------------
+    input_dim: int = 4          # spectral embedding size (Fig. 5: 4 is best)
+    node_embedding_dim: int = 32  # identity-feature embedding (§III-C: the
+    #   paper's default X = I_n gives every node free parameters; a learned
+    #   n×d table is the factorised equivalent that stays O(n·d))
+    hidden_dim: int = 64        # GCN kernel size (paper: 128)
+    latent_dim: int = 32        # variational latent width
+    num_levels: int = 2         # hierarchy levels incl. input level (Fig. 5: 2)
+    pool_size: int = 32         # clusters at the first coarsening (paper: 256)
+    adjacency_power: int = 1    # use A (+A² when 2) in GCN propagation
+    pooling: str = "diffpool"   # "topk" = Graph U-Nets pooling (extension
+    #   ablation; §II-B2 argues node-selection pooling cannot represent
+    #   community structure — no soft assignments, so no L_clus either)
+
+    # Variants (ablation table VI) -------------------------------------
+    use_variational: bool = True    # False -> CPGAN-noV
+    use_hierarchy: bool = True      # False -> CPGAN-noH
+    decoder_mode: str = "gru"       # "concat" -> CPGAN-C
+
+    # Training ----------------------------------------------------------
+    epochs: int = 200
+    # §III-F2: "our training process stops only when both L_clus and
+    # log(D(A)) converge" — with early_stopping, epochs is the *maximum*
+    # and training ends once both traces are flat over `patience` epochs.
+    early_stopping: bool = False
+    patience: int = 30
+    convergence_tol: float = 0.02
+    learning_rate: float = 1e-3
+    lr_decay_every: int = 400
+    lr_decay_gamma: float = 0.3
+    sample_size: int = 256      # n_s — nodes per training subgraph (§III-E)
+    sampling_strategy: str = "degree"   # or "uniform" (ablation)
+
+    # Loss weights --------------------------------------------------------
+    beta_kl: float = 1e-4           # KL(q || N(0, I)) weight (Eq. 19)
+    lambda_clus: float = 1.0        # clustering consistency L_clus (§III-F2)
+    gamma_adv: float = 0.05          # adversarial generator term (Eq. 18)
+    delta_mapping: float = 0.1      # mapping consistency L_rec (Eq. 18)
+
+    # Generation -----------------------------------------------------------
+    assembly_strategy: str = "categorical_topk"    # §III-G
+    latent_source: str = "posterior"  # "posterior" | "prior"
+    noise_scale: float = 1.0   # temperature on the posterior σ at generation
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 1:
+            raise ValueError("num_levels must be >= 1")
+        if self.decoder_mode not in ("gru", "concat"):
+            raise ValueError("decoder_mode must be 'gru' or 'concat'")
+        if self.latent_source not in ("posterior", "prior"):
+            raise ValueError("latent_source must be 'posterior' or 'prior'")
+        if self.pooling not in ("diffpool", "topk"):
+            raise ValueError("pooling must be 'diffpool' or 'topk'")
+        if not self.use_hierarchy:
+            self.num_levels = 1
+
+    @property
+    def effective_levels(self) -> int:
+        """Number of representation levels fed to the decoder."""
+        return self.num_levels if self.use_hierarchy else 1
+
+    @property
+    def encoder_input_dim(self) -> int:
+        """Width of the encoder input: spectral + identity embedding."""
+        return self.input_dim + self.node_embedding_dim

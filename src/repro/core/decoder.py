@@ -1,0 +1,67 @@
+"""Hierarchical graph decoder (paper §III-E).
+
+Folds the sequence of per-level latents into node features with a GRU
+(Eq. 13), then scores every node pair by a two-layer MLP followed by a dot
+product and a sigmoid (Eq. 14):
+
+    h_{l+1} = GRU(h_l, Z_vae^{(l+1)})
+    p(A_ij) = σ( g_θ(h_k,i)ᵀ g_θ(h_k,j) )
+
+The ``concat`` mode replaces the GRU with concatenation of levels — this is
+the CPGAN-C ablation variant of Table VI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import CPGANConfig
+
+__all__ = ["GraphDecoder"]
+
+
+class GraphDecoder(nn.Module):
+    """GRU-over-levels node decoder + dot-product link predictor."""
+
+    def __init__(self, config: CPGANConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        levels = config.effective_levels
+        if config.decoder_mode == "gru":
+            self.gru = nn.GRUCell(config.latent_dim, config.hidden_dim, rng)
+            self.merge = None
+        else:  # CPGAN-C: concatenate levels, project with a linear layer.
+            self.gru = None
+            self.merge = nn.Linear(config.latent_dim * levels, config.hidden_dim, rng)
+        self.edge_mlp = nn.MLP(
+            [config.hidden_dim, config.hidden_dim, config.latent_dim], rng
+        )
+
+    # ------------------------------------------------------------------
+    def node_features(self, latents: list[nn.Tensor]) -> nn.Tensor:
+        """Decode per-level latents into final node features h_k (Eq. 13)."""
+        if not latents:
+            raise ValueError("decoder needs at least one latent level")
+        if self.gru is not None:
+            n = latents[0].shape[0]
+            h = nn.Tensor(np.zeros((n, self.config.hidden_dim)))
+            for z in latents:
+                h = self.gru(h, z)
+            return h
+        return self.merge(nn.concat(latents, axis=1)).relu()
+
+    def edge_logits(self, h: nn.Tensor) -> nn.Tensor:
+        """Pairwise logits g_θ(h_i)ᵀ g_θ(h_j) (Eq. 14, before the sigmoid)."""
+        g = self.edge_mlp(h)
+        return g @ g.T
+
+    def forward(self, latents: list[nn.Tensor]) -> nn.Tensor:
+        """Full decode: latents -> (n, n) edge probabilities A_rec."""
+        return self.edge_logits(self.node_features(latents)).sigmoid()
+
+    # ------------------------------------------------------------------
+    def decode_numpy(self, latents: list[np.ndarray]) -> np.ndarray:
+        """Inference-only decode of NumPy latents into probabilities."""
+        with nn.no_grad():
+            tensors = [nn.Tensor(z) for z in latents]
+            return self.forward(tensors).data

@@ -1,0 +1,33 @@
+"""Graph discriminator (paper §III-F1).
+
+A two-layer MLP over the flattened ladder readout ``s ∈ R^{k×d}`` (Eq. 15):
+``D(A) = σ(MLP(E(A)))``.  The encoder producing ``s`` is shared with the
+generator; this module is only the classification head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .config import CPGANConfig
+
+__all__ = ["Discriminator"]
+
+
+class Discriminator(nn.Module):
+    """MLP head scoring a graph readout as real (→1) or generated (→0)."""
+
+    def __init__(self, config: CPGANConfig, rng: np.random.Generator) -> None:
+        levels = config.effective_levels
+        self.mlp = nn.MLP(
+            [levels * config.hidden_dim, config.hidden_dim, 1], rng
+        )
+
+    def forward(self, readout: nn.Tensor) -> nn.Tensor:
+        """Return the (scalar) logit for one graph readout (k, d)."""
+        flat = readout.reshape(1, -1)
+        return self.mlp(flat).reshape(())
+
+    def probability(self, readout: nn.Tensor) -> nn.Tensor:
+        return self.forward(readout).sigmoid()

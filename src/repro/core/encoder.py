@@ -1,0 +1,198 @@
+"""Ladder message-transmission encoder (paper §III-C).
+
+Per hierarchy level the encoder runs
+
+* ``GCN_embed``  — structure features Z^(l)  (Eq. 7, PairNorm after),
+* ``GCN_pool``   — soft assignment  S^(l) = softmax(GCN(Z, A))  (Eq. 7),
+* ``GCN_depool`` — transposed assignment for distributing coarse features
+  back to the original nodes (Eq. 10),
+
+then coarsens ``A^(l+1) = S^(l)ᵀ A^(l) S^(l)`` and ``X^(l+1) = S^(l)ᵀ Z^(l)``
+(Eq. 8).  Outputs:
+
+* ``z_rec`` — per-level node features distributed back to original nodes
+  (Eq. 11), the input of the variational module;
+* ``readout`` — per-level mean-pooled graph representation (Eq. 9), the
+  input of the discriminator;
+* ``assignments`` — per-level soft community assignments of the *original*
+  nodes (composed products of the S^(l)), constrained by Louvain ground
+  truth through ``L_clus``.
+
+All layers are permutation-equivariant, so the readout (a node mean) is
+permutation-invariant — the Eq. 5 requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..graphs import Graph
+from .config import CPGANConfig
+
+__all__ = ["LadderEncoder", "EncoderOutput"]
+
+
+@dataclass
+class EncoderOutput:
+    """Everything one encoder pass produces."""
+
+    z_rec: list[nn.Tensor]          # per level: (n, hidden) on original nodes
+    readout: nn.Tensor              # (levels, hidden) graph representation
+    assignments: list[nn.Tensor]    # per pooling step: (n, clusters), composed
+    coarse_adjacencies: list        # adjacency used per level (sparse/Tensor)
+
+
+class LadderEncoder(nn.Module):
+    """GCN + DiffPool ladder with transposed-pooling message distribution."""
+
+    def __init__(self, config: CPGANConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        levels = config.effective_levels
+        self.embed_convs: list[nn.GraphConv] = []
+        self.pool_convs: list[nn.GraphConv] = []
+        self.depool_convs: list[nn.GraphConv] = []
+        self.norms: list[nn.PairNorm] = []
+        in_dim = config.encoder_input_dim
+        pool = config.pool_size
+        for level in range(levels):
+            conv_cls = nn.GraphConv if level == 0 else nn.DenseGraphConv
+            self.embed_convs.append(
+                conv_cls(in_dim, config.hidden_dim, rng, activation="relu")
+            )
+            self.norms.append(nn.PairNorm())
+            if level < levels - 1:
+                if config.pooling == "diffpool":
+                    self.pool_convs.append(
+                        conv_cls(config.hidden_dim, pool, rng, activation="identity")
+                    )
+                    self.depool_convs.append(
+                        conv_cls(config.hidden_dim, pool, rng, activation="identity")
+                    )
+                else:  # Graph U-Nets top-k: a scalar score per node.
+                    self.pool_convs.append(
+                        conv_cls(config.hidden_dim, 1, rng, activation="identity")
+                    )
+                pool = max(pool // 4, 2)
+            in_dim = config.hidden_dim
+
+    # ------------------------------------------------------------------
+    def forward(self, adjacency, features: np.ndarray | nn.Tensor) -> EncoderOutput:
+        """Encode one graph.
+
+        Parameters
+        ----------
+        adjacency:
+            Normalised adjacency — SciPy sparse for a real graph, or a dense
+            (possibly autograd-tracked) Tensor for generated probability
+            matrices (the discriminator path on fake graphs).
+        features:
+            (n, input_dim) node features (spectral embedding by default).
+        """
+        x = nn.as_tensor(features)
+        adj = adjacency
+        z_levels: list[nn.Tensor] = []
+        depool_mats: list[nn.Tensor] = []   # S_depool^(l)ᵀ, (n_l, n_{l+1})
+        assignments: list[nn.Tensor] = []
+        adjacencies = [adj]
+        levels = self.config.effective_levels
+        use_topk = self.config.pooling == "topk"
+        pool = self.config.pool_size
+        for level in range(levels):
+            z = self.norms[level](self.embed_convs[level](x, adj))
+            z_levels.append(z)
+            if level < levels - 1:
+                if use_topk:
+                    adj, x, p = self._topk_pool(level, z, adj, pool)
+                    depool_mats.append(p)
+                    pool = max(pool // 4, 2)
+                else:
+                    s = self.pool_convs[level](z, adj).softmax(axis=-1)
+                    s_depool = self.depool_convs[level](z, adj).softmax(axis=-1)
+                    assignments.append(s)
+                    depool_mats.append(s_depool)
+                    # Coarsen (Eq. 8): A^(l+1) = SᵀAS. Sparse graphs stay
+                    # sparse on the left factor (O(m·pool)); result is dense.
+                    if sp.issparse(adj):
+                        adj = s.T @ nn.spmm(adj, s)
+                    else:
+                        adj = s.T @ (adj @ s)
+                    x = s.T @ z
+                adjacencies.append(adj)
+
+        # Distribute coarse features to original nodes (Eq. 11).
+        z_rec: list[nn.Tensor] = [z_levels[0]]
+        carry = None
+        for level in range(1, levels):
+            carry = (
+                depool_mats[level - 1]
+                if carry is None
+                else carry @ depool_mats[level - 1]
+            )
+            z_rec.append(carry @ z_levels[level])
+
+        # Graph readout (Eq. 9): mean nodes per level, stack levels.
+        readout = nn.stack([z.mean(axis=0) for z in z_levels], axis=0)
+
+        # Composed soft assignment of original nodes per pooling level.
+        composed: list[nn.Tensor] = []
+        acc = None
+        for s in assignments:
+            acc = s if acc is None else acc @ s
+            composed.append(acc)
+        return EncoderOutput(
+            z_rec=z_rec,
+            readout=readout,
+            assignments=composed,
+            coarse_adjacencies=adjacencies,
+        )
+
+    # ------------------------------------------------------------------
+    def _topk_pool(
+        self, level: int, z: nn.Tensor, adj, keep: int
+    ) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor]:
+        """Graph U-Nets pooling: keep the ``keep`` highest-scoring nodes.
+
+        Returns (coarse adjacency, gated coarse features, the constant
+        scatter matrix P of shape (n_l, keep) used for depooling — a 0/1
+        node-selection matrix, i.e. a *hard* assignment that carries no
+        community information, which is the §II-B2 limitation the ablation
+        demonstrates).
+        """
+        n = z.shape[0]
+        keep = min(keep, n)
+        scores = self.pool_convs[level](z, adj)            # (n, 1)
+        flat = scores.data.ravel()
+        idx = np.sort(np.argsort(flat)[::-1][:keep])
+        gate = scores[idx].sigmoid()                        # (keep, 1)
+        x = z[idx] * gate                                   # gated features
+        if sp.issparse(adj):
+            coarse = nn.Tensor(adj[idx][:, idx].toarray())
+        else:
+            coarse = adj[idx][:, idx]
+        p = np.zeros((n, keep))
+        p[idx, np.arange(keep)] = 1.0
+        return coarse, x, nn.Tensor(p)
+
+    @staticmethod
+    def prepare_adjacency(graph: Graph, power: int = 1) -> sp.csr_matrix:
+        """Sparse normalised adjacency for a real graph."""
+        return nn.normalized_adjacency(graph.adjacency, power=power)
+
+    @staticmethod
+    def prepare_dense_adjacency(probs: nn.Tensor) -> nn.Tensor:
+        """Differentiable normalised adjacency for a probability matrix.
+
+        Used when the discriminator encodes a *generated* graph: the dense
+        probability matrix stays in the autograd graph so generator
+        gradients flow through the discrimination (Eq. 16).
+        """
+        n = probs.shape[0]
+        eye = nn.Tensor(np.eye(n))
+        a = probs + eye
+        deg = a.sum(axis=1)
+        inv_sqrt = deg.clip(1e-12, np.inf).pow(-0.5)
+        return a * inv_sqrt.reshape(n, 1) * inv_sqrt.reshape(1, n)

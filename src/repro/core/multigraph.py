@@ -1,0 +1,141 @@
+"""Training CPGAN on a *set* of graphs (paper §III-A).
+
+The paper frames CPGAN as learning "the community structure of a set of
+graphs using adjacency matrices A in the training set"; the evaluation then
+uses one observed graph per dataset.  :class:`CPGANMultiGraph` provides the
+set-of-graphs surface: all networks (encoder / VI / decoder / discriminator)
+are shared across graphs — this parameter sharing is what transmits
+community structure between graphs — while each graph keeps its own rows in
+one concatenated identity-embedding table and its own posterior latents.
+
+Epochs round-robin over the training graphs; everything else (losses,
+subgraph sampling, §III-G generation) is inherited from :class:`CPGAN`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import nn
+from ..community import hierarchical_labels
+from ..graphs import Graph, spectral_embedding
+from .encoder import LadderEncoder
+from .model import CPGAN
+from .variational import LatentDistributions
+
+__all__ = ["CPGANMultiGraph"]
+
+
+class CPGANMultiGraph(CPGAN):
+    """CPGAN trained jointly on several observed graphs."""
+
+    name = "CPGAN-multi"
+
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        self._graphs: list[Graph] = []
+        self._offsets: list[int] = []
+        self._per_graph_latents: list[LatentDistributions] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, graphs: Sequence[Graph] | Graph) -> "CPGANMultiGraph":
+        if isinstance(graphs, Graph):
+            graphs = [graphs]
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("need at least one training graph")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self._graphs = graphs
+        self._offsets = list(
+            np.concatenate([[0], np.cumsum([g.num_nodes for g in graphs])[:-1]])
+        )
+        total_nodes = sum(g.num_nodes for g in graphs)
+        self._features = np.vstack(
+            [spectral_embedding(g, dim=cfg.input_dim) for g in graphs]
+        )
+        from ..nn import init as nn_init
+
+        self.node_embedding = nn.Parameter(
+            nn_init.xavier_uniform((total_nodes, cfg.node_embedding_dim), rng)
+        )
+        pooling_steps = max(cfg.effective_levels - 1, 0)
+        if pooling_steps:
+            per_level: list[list[np.ndarray]] = [[] for _ in range(pooling_steps)]
+            for g in graphs:
+                levels = hierarchical_labels(g, pooling_steps, seed=cfg.seed)
+                for level, labels in enumerate(levels):
+                    per_level[level].append(labels)
+            # Concatenate with disjoint label spaces per graph.
+            self._ground_truth = []
+            for level_labels in per_level:
+                shifted, shift = [], 0
+                for labels in level_labels:
+                    shifted.append(labels + shift)
+                    shift += labels.max() + 1
+                self._ground_truth.append(np.concatenate(shifted))
+        else:
+            self._ground_truth = []
+
+        gen_params = [self.node_embedding]
+        gen_params += list(self.encoder.parameters())
+        gen_params += list(self.vi.parameters())
+        gen_params += list(self.decoder.parameters())
+        opt_gen = nn.Adam(gen_params, lr=cfg.learning_rate)
+        opt_disc = nn.Adam(self.discriminator.parameters(), lr=cfg.learning_rate)
+        sched = nn.StepDecay(opt_gen, cfg.lr_decay_every, cfg.lr_decay_gamma)
+        for epoch in range(cfg.epochs):
+            index = epoch % len(graphs)
+            graph = graphs[index]
+            offset = self._offsets[index]
+            local_nodes, sub = self._training_view(graph, rng)
+            self._train_epoch(
+                sub, offset + local_nodes, opt_gen, opt_disc, rng
+            )
+            sched.step()
+            if cfg.early_stopping and self._converged():
+                break
+
+        self._per_graph_latents = []
+        for graph, offset in zip(graphs, self._offsets):
+            self._per_graph_latents.append(
+                self._infer_latents_for(graph, offset, rng)
+            )
+        # Default generation target: the first graph.
+        self._latents = self._per_graph_latents[0]
+        self._mark_fitted(graphs[0])
+        return self
+
+    def _infer_latents_for(
+        self, graph: Graph, offset: int, rng: np.random.Generator
+    ) -> LatentDistributions:
+        adj_norm = LadderEncoder.prepare_adjacency(
+            graph, self.config.adjacency_power
+        )
+        with nn.no_grad():
+            features = self._node_features(offset + np.arange(graph.num_nodes))
+            out = self.encoder(adj_norm, features)
+            __, ___, snapshot = self._latent_pass(out, rng)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return len(self._graphs)
+
+    def generate(
+        self,
+        seed: int = 0,
+        num_nodes: int | None = None,
+        graph_index: int = 0,
+    ) -> Graph:
+        """Generate a simulation of training graph ``graph_index``."""
+        if not self._graphs:
+            return super().generate(seed=seed, num_nodes=num_nodes)
+        if not 0 <= graph_index < len(self._graphs):
+            raise IndexError(f"graph_index {graph_index} out of range")
+        self._latents = self._per_graph_latents[graph_index]
+        self._observed = self._graphs[graph_index]
+        return super().generate(seed=seed, num_nodes=num_nodes)

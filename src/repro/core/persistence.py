@@ -1,0 +1,105 @@
+"""Save / load trained CPGAN models.
+
+A trained CPGAN is fully described by its configuration, the parameter
+arrays of its four modules (in deterministic discovery order), the node
+embedding table, the cached spectral features, the Louvain ground-truth
+hierarchy, and the posterior latent snapshots.  Everything is stored in a
+single compressed ``.npz`` archive so a trained generator can be shipped to
+the consumer of the synthetic graphs without the training data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .. import nn
+from ..graphs import Graph
+from .config import CPGANConfig
+from .model import CPGAN
+from .variational import LatentDistributions
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: CPGAN, path: str | Path) -> None:
+    """Serialise a fitted CPGAN to ``path`` (.npz)."""
+    observed = model._require_fitted()
+    arrays: dict[str, np.ndarray] = {}
+    for prefix, module in _modules(model):
+        for i, array in enumerate(module.state_dict()):
+            arrays[f"{prefix}_{i}"] = array
+    arrays["node_embedding"] = model.node_embedding.data
+    arrays["features"] = model._features
+    for i, mu in enumerate(model._latents.mus):
+        arrays[f"latent_mu_{i}"] = mu
+    for i, sigma in enumerate(model._latents.sigmas):
+        arrays[f"latent_sigma_{i}"] = sigma
+    for i, labels in enumerate(model._ground_truth or []):
+        arrays[f"ground_truth_{i}"] = labels
+    arrays["observed_edges"] = observed.edge_array()
+    meta = {
+        "version": _FORMAT_VERSION,
+        "config": asdict(model.config),
+        "num_levels": len(model._latents.mus),
+        "num_ground_truth": len(model._ground_truth or []),
+        "num_nodes": observed.num_nodes,
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_model(path: str | Path) -> CPGAN:
+    """Restore a CPGAN saved with :func:`save_model`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        if meta["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {meta['version']}"
+            )
+        config = CPGANConfig(**meta["config"])
+        model = CPGAN(config)
+        for prefix, module in _modules(model):
+            state = []
+            i = 0
+            while f"{prefix}_{i}" in archive:
+                state.append(archive[f"{prefix}_{i}"])
+                i += 1
+            module.load_state_dict(state)
+        model.node_embedding = nn.Parameter(archive["node_embedding"].copy())
+        model._features = archive["features"].copy()
+        model._latents = LatentDistributions(
+            mus=[
+                archive[f"latent_mu_{i}"].copy()
+                for i in range(meta["num_levels"])
+            ],
+            sigmas=[
+                archive[f"latent_sigma_{i}"].copy()
+                for i in range(meta["num_levels"])
+            ],
+        )
+        model._ground_truth = [
+            archive[f"ground_truth_{i}"].copy()
+            for i in range(meta["num_ground_truth"])
+        ]
+        observed = Graph.from_edges(
+            meta["num_nodes"], archive["observed_edges"]
+        )
+    model._mark_fitted(observed)
+    return model
+
+
+def _modules(model: CPGAN):
+    return (
+        ("encoder", model.encoder),
+        ("vi", model.vi),
+        ("decoder", model.decoder),
+        ("discriminator", model.discriminator),
+    )

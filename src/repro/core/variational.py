@@ -1,0 +1,122 @@
+"""Variational inference over the hierarchical node features (paper §III-D).
+
+For each hierarchy level the reconstructed node features ``Z_rec^(l)`` are
+mapped by MLPs ``g_mu`` / ``g_sigma`` to Gaussian posteriors
+``q(z_i) = N(μ_i, diag(σ̄²))``: a *per-node* mean and the *pooled* variance
+``σ̄² = (1/n²) Σ g_σ(Z_rec)_i²`` of Eq. 12 (the variance shrinks with n,
+which keeps representations away from the zero-centre — the sparsity effect
+§III-D highlights).
+
+Note on Eq. 12: read literally the equation also pools the means, which
+would make all node latents i.i.d. and reconstruction of specific edges
+(Eq. 14) impossible; per-node means are required for the bijective-mapping
+NMI/ARI protocol of §II-A, so we keep them (matching the VGAE-style encoder
+the architecture builds on) and pool only the variance.
+
+Sampling uses the reparameterisation trick.  The per-level posterior
+snapshots are stored after training; generating a graph of arbitrary size
+bootstraps node latents from those snapshots (or from the N(0, I) prior).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .config import CPGANConfig
+
+__all__ = ["VariationalInference", "LatentDistributions"]
+
+
+@dataclass
+class LatentDistributions:
+    """Per-level posterior snapshots used at generation time."""
+
+    mus: list[np.ndarray]      # each (n, latent_dim) — per-node means
+    sigmas: list[np.ndarray]   # each (latent_dim,) — pooled std deviations
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mus[0].shape[0] if self.mus else 0
+
+    def sample(
+        self,
+        num_nodes: int,
+        rng: np.random.Generator,
+        keep_identity: bool = True,
+    ) -> list[np.ndarray]:
+        """Draw (num_nodes, latent_dim) node latents per level.
+
+        With ``keep_identity`` and a matching node count, node *i* samples
+        from its own posterior — this is the path that preserves the
+        bijective node mapping for the community metrics.  Otherwise node
+        latents are bootstrapped (sampled rows with replacement), enabling
+        generation at arbitrary sizes.
+        """
+        if keep_identity and num_nodes == self.num_nodes:
+            rows = np.arange(num_nodes)
+        else:
+            rows = rng.integers(0, self.num_nodes, size=num_nodes)
+        return [
+            mu[rows] + sigma * rng.normal(size=(num_nodes, sigma.size))
+            for mu, sigma in zip(self.mus, self.sigmas)
+        ]
+
+    @classmethod
+    def standard_prior(
+        cls, num_nodes: int, latent_dim: int, levels: int
+    ) -> "LatentDistributions":
+        """The N(0, I) prior of Eq. 16's ``Z_s`` path."""
+        return cls(
+            mus=[np.zeros((num_nodes, latent_dim)) for _ in range(levels)],
+            sigmas=[np.ones(latent_dim) for _ in range(levels)],
+        )
+
+
+class VariationalInference(nn.Module):
+    """Per-level inference model g(Z_rec; φ) (Eq. 12)."""
+
+    def __init__(self, config: CPGANConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        levels = config.effective_levels
+        self.g_mu = [
+            nn.MLP([config.hidden_dim, config.hidden_dim, config.latent_dim], rng)
+            for _ in range(levels)
+        ]
+        self.g_sigma = [
+            nn.MLP([config.hidden_dim, config.hidden_dim, config.latent_dim], rng)
+            for _ in range(levels)
+        ]
+
+    def forward(
+        self,
+        z_rec: list[nn.Tensor],
+        rng: np.random.Generator,
+    ) -> tuple[list[nn.Tensor], nn.Tensor, LatentDistributions]:
+        """Return (sampled latents per level, KL loss, posterior snapshots)."""
+        latents: list[nn.Tensor] = []
+        kl_terms: list[nn.Tensor] = []
+        mus: list[np.ndarray] = []
+        sigmas: list[np.ndarray] = []
+        for level, z in enumerate(z_rec):
+            n = z.shape[0]
+            mu = self.g_mu[level](z)                                # (n, d')
+            g_s = self.g_sigma[level](z)
+            # Eq. 12: pooled variance, shrinking as 1/n².
+            var_bar = (g_s * g_s).sum(axis=0) * (1.0 / float(n * n))
+            log_var = (var_bar + 1e-8).log()
+            sigma_bar = (var_bar + 1e-12).sqrt()
+            eps = rng.normal(size=(n, self.config.latent_dim))
+            z_vae = mu + sigma_bar * nn.Tensor(eps)
+            latents.append(z_vae)
+            # KL(q || N(0, I)) with shared variance, averaged over nodes.
+            log_var_full = log_var.reshape(1, -1) + nn.Tensor(np.zeros((n, 1)))
+            kl_terms.append(nn.kl_standard_normal(mu, log_var_full))
+            mus.append(mu.data.copy())
+            sigmas.append(sigma_bar.data.copy())
+        kl = kl_terms[0]
+        for term in kl_terms[1:]:
+            kl = kl + term
+        return latents, kl, LatentDistributions(mus=mus, sigmas=sigmas)

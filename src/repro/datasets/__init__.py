@@ -1,0 +1,19 @@
+"""``repro.datasets`` — synthetic stand-ins for the paper's six datasets."""
+
+from .cache import clear_cache, default_cache_dir, load_cached
+from .registry import DATASETS, Dataset, DatasetSpec, available, load
+from .synthetic import community_graph, knn_point_cloud_graph, powerlaw_degrees
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "available",
+    "load",
+    "load_cached",
+    "clear_cache",
+    "default_cache_dir",
+    "community_graph",
+    "knn_point_cloud_graph",
+    "powerlaw_degrees",
+]

@@ -1,0 +1,158 @@
+"""Synthetic community-structured graph constructions.
+
+These are the building blocks of the dataset stand-ins (see
+:mod:`repro.datasets.registry` and DESIGN.md §2): the paper's six public
+datasets cannot be downloaded in this offline environment, so we generate
+graphs that match the *properties its evaluation measures* — Louvain-
+recoverable community structure, heavy-tailed degree distributions (GINI,
+power-law exponent), and realistic clustering.
+
+* :func:`powerlaw_degrees` — heavy-tailed degree sequence with a target mean.
+* :func:`community_graph` — degree-corrected planted partition: power-law
+  degrees split into intra/inter-community stubs, Chung-Lu pairing inside
+  communities and across the graph.
+* :func:`knn_point_cloud_graph` — k-nearest-neighbour graph over clustered
+  3-D points, the same construction as the paper's 3D Point Cloud dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import Graph
+
+__all__ = ["powerlaw_degrees", "community_graph", "knn_point_cloud_graph"]
+
+
+def powerlaw_degrees(
+    num_nodes: int,
+    exponent: float,
+    mean_degree: float,
+    rng: np.random.Generator,
+    d_min: int = 1,
+) -> np.ndarray:
+    """Integer degree sequence ~ power law with the requested mean degree.
+
+    Samples a continuous Pareto tail with the given ``exponent`` and rescales
+    multiplicatively so the empirical mean matches ``mean_degree``.
+    """
+    if num_nodes <= 0:
+        return np.zeros(0, dtype=np.int64)
+    u = rng.random(num_nodes)
+    raw = d_min * (1.0 - u) ** (-1.0 / (exponent - 1.0))
+    raw = np.minimum(raw, num_nodes / 2.0)  # cap hubs below n/2
+    raw *= mean_degree / raw.mean()
+    degrees = np.maximum(np.round(raw), d_min).astype(np.int64)
+    return degrees
+
+
+def _chung_lu_edges(
+    nodes: np.ndarray,
+    weights: np.ndarray,
+    num_edges: int,
+    rng: np.random.Generator,
+    existing: set[tuple[int, int]],
+) -> None:
+    """Add ~num_edges weighted-endpoint edges among ``nodes`` to ``existing``."""
+    total = weights.sum()
+    if total <= 0 or nodes.size < 2 or num_edges <= 0:
+        return
+    p = weights / total
+    target = len(existing) + num_edges
+    max_possible = nodes.size * (nodes.size - 1) // 2
+    target = min(target, max_possible + len(existing))
+    tries = 0
+    while len(existing) < target and tries < 30 * num_edges + 60:
+        need = target - len(existing)
+        us = nodes[rng.choice(nodes.size, size=need + 8, p=p)]
+        vs = nodes[rng.choice(nodes.size, size=need + 8, p=p)]
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            existing.add((int(min(u, v)), int(max(u, v))))
+            if len(existing) >= target:
+                break
+        tries += 1
+
+
+def community_graph(
+    num_nodes: int,
+    num_communities: int,
+    mean_degree: float,
+    exponent: float = 2.5,
+    mixing: float = 0.15,
+    seed: int = 0,
+) -> tuple[Graph, np.ndarray]:
+    """Degree-corrected planted-partition graph.
+
+    Parameters
+    ----------
+    mixing:
+        Fraction of each node's degree spent on inter-community edges
+        (the LFR "mu" parameter).
+
+    Returns
+    -------
+    (graph, labels):
+        The graph and the planted community label per node.
+    """
+    if not 0.0 <= mixing <= 1.0:
+        raise ValueError("mixing must be in [0, 1]")
+    if num_communities < 1 or num_communities > num_nodes:
+        raise ValueError("need 1 <= num_communities <= num_nodes")
+    rng = np.random.default_rng(seed)
+    # Community sizes: power-law-ish via Dirichlet with small concentration,
+    # floored at 2 nodes so every community is detectable.
+    raw = rng.dirichlet(np.full(num_communities, 1.5)) * num_nodes
+    sizes = np.maximum(raw.round().astype(int), 2)
+    while sizes.sum() > num_nodes:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < num_nodes:
+        sizes[np.argmin(sizes)] += 1
+    labels = np.repeat(np.arange(num_communities), sizes)
+    rng.shuffle(labels)
+
+    degrees = powerlaw_degrees(num_nodes, exponent, mean_degree, rng)
+    intra_w = degrees * (1.0 - mixing)
+    inter_w = degrees * mixing
+    edges: set[tuple[int, int]] = set()
+    for c in range(num_communities):
+        members = np.flatnonzero(labels == c)
+        intra_edges = int(intra_w[members].sum() / 2.0)
+        _chung_lu_edges(members, intra_w[members], intra_edges, rng, edges)
+    inter_edges = int(inter_w.sum() / 2.0)
+    _chung_lu_edges(np.arange(num_nodes), inter_w, inter_edges, rng, edges)
+    graph = Graph.from_edges(
+        num_nodes,
+        np.array(sorted(edges), dtype=np.int64)
+        if edges
+        else np.zeros((0, 2), dtype=np.int64),
+    )
+    return graph, labels
+
+
+def knn_point_cloud_graph(
+    num_nodes: int,
+    k: int = 4,
+    num_clusters: int = 20,
+    seed: int = 0,
+) -> tuple[Graph, np.ndarray]:
+    """k-NN graph over clustered 3-D points (3D Point Cloud stand-in).
+
+    Points are drawn from ``num_clusters`` Gaussian blobs (the household
+    objects of the original dataset); each point connects to its ``k``
+    nearest neighbours by Euclidean distance.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 10.0, size=(num_clusters, 3))
+    assignment = rng.integers(0, num_clusters, size=num_nodes)
+    points = centers[assignment] + rng.normal(0.0, 0.35, size=(num_nodes, 3))
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(points)
+    __, idx = tree.query(points, k=k + 1)  # first hit is the point itself
+    edges = []
+    for i in range(num_nodes):
+        for j in idx[i, 1:]:
+            edges.append((i, int(j)))
+    return Graph.from_edges(num_nodes, edges), assignment

@@ -1,0 +1,48 @@
+"""``repro.graphs`` — graph data structure, statistics, sampling, assembly."""
+
+from .assembly import assemble_graph
+from .cores import core_numbers, core_size_profile, max_core
+from .graph import Graph
+from .io import read_edge_list, write_edge_list
+from .sampling import degree_proportional_sample, sample_subgraph, uniform_sample
+from .spectral import spectral_embedding
+from .stats import (
+    GraphStatistics,
+    average_clustering,
+    characteristic_path_length,
+    clustering_coefficients,
+    degree_assortativity,
+    degree_histogram,
+    gini_index,
+    graph_statistics,
+    largest_component_fraction,
+    powerlaw_exponent,
+    triangle_count,
+    wedge_count,
+)
+
+__all__ = [
+    "Graph",
+    "assemble_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "degree_proportional_sample",
+    "uniform_sample",
+    "sample_subgraph",
+    "spectral_embedding",
+    "GraphStatistics",
+    "graph_statistics",
+    "degree_histogram",
+    "clustering_coefficients",
+    "average_clustering",
+    "triangle_count",
+    "characteristic_path_length",
+    "gini_index",
+    "powerlaw_exponent",
+    "degree_assortativity",
+    "wedge_count",
+    "largest_component_fraction",
+    "core_numbers",
+    "max_core",
+    "core_size_profile",
+]

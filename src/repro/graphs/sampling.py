@@ -1,0 +1,62 @@
+"""Node sampling strategies for subgraph-based training (paper §III-E).
+
+CPGAN trains its decoder on sampled subgraphs: ``n_s`` nodes drawn *without
+replacement* with probability proportional to degree,
+``P_i = deg_i / Σ_j deg_j``, then the induced subgraph is used for the
+O(n_s²) link-prediction loss.  Uniform sampling is provided for the ablation
+bench on sampling strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["degree_proportional_sample", "uniform_sample", "sample_subgraph"]
+
+
+def degree_proportional_sample(
+    graph: Graph, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``size`` distinct nodes with P_i ∝ deg_i.
+
+    Isolated nodes (degree 0) are only drawn when every positive-degree node
+    is exhausted.
+    """
+    n = graph.num_nodes
+    size = min(size, n)
+    degrees = graph.degrees.astype(float)
+    total = degrees.sum()
+    if total == 0:
+        return rng.choice(n, size=size, replace=False)
+    positive = np.flatnonzero(degrees > 0)
+    if size <= positive.size:
+        probs = degrees[positive] / degrees[positive].sum()
+        return rng.choice(positive, size=size, replace=False, p=probs)
+    extra = rng.choice(
+        np.flatnonzero(degrees == 0), size=size - positive.size, replace=False
+    )
+    return np.concatenate([positive, extra])
+
+
+def uniform_sample(graph: Graph, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``size`` distinct nodes uniformly."""
+    return rng.choice(graph.num_nodes, size=min(size, graph.num_nodes), replace=False)
+
+
+def sample_subgraph(
+    graph: Graph,
+    size: int,
+    rng: np.random.Generator,
+    strategy: str = "degree",
+) -> tuple[np.ndarray, Graph]:
+    """Sample nodes and return (node ids, induced subgraph)."""
+    if strategy == "degree":
+        nodes = degree_proportional_sample(graph, size, rng)
+    elif strategy == "uniform":
+        nodes = uniform_sample(graph, size, rng)
+    else:
+        raise ValueError(f"unknown sampling strategy: {strategy}")
+    nodes = np.sort(nodes)
+    return nodes, graph.subgraph(nodes)

@@ -1,0 +1,31 @@
+"""``repro.metrics`` — MMD and difference metrics for graph simulation quality."""
+
+from .evaluation import (
+    CommunityReport,
+    GenerationReport,
+    evaluate_community_preservation,
+    evaluate_generation,
+)
+from .graphlets import GraphletCounts, count_graphlets, graphlet_distance
+from .mmd import (
+    clustering_mmd,
+    degree_mmd,
+    emd_1d,
+    gaussian_emd_kernel,
+    mmd_squared,
+)
+
+__all__ = [
+    "CommunityReport",
+    "GenerationReport",
+    "evaluate_community_preservation",
+    "evaluate_generation",
+    "clustering_mmd",
+    "degree_mmd",
+    "emd_1d",
+    "gaussian_emd_kernel",
+    "mmd_squared",
+    "GraphletCounts",
+    "count_graphlets",
+    "graphlet_distance",
+]

@@ -1,0 +1,126 @@
+"""Evaluation harnesses producing the rows of Tables III–VI.
+
+Two views of simulation quality:
+
+* :func:`evaluate_generation` — structural distances (``Deg.``, ``Clus.``
+  MMD; ``CPL``, ``GINI``, ``PWE`` absolute differences), lower is better
+  (Table IV / V / VI right half).
+* :func:`evaluate_community_preservation` — NMI/ARI between Louvain
+  partitions of the observed and generated graphs, higher is better
+  (Table III / VI left half).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..community import (
+    adjusted_rand_index,
+    louvain,
+    normalized_mutual_information,
+)
+from ..graphs import (
+    Graph,
+    characteristic_path_length,
+    gini_index,
+    powerlaw_exponent,
+)
+from .mmd import clustering_mmd, degree_mmd
+
+__all__ = [
+    "GenerationReport",
+    "CommunityReport",
+    "evaluate_generation",
+    "evaluate_community_preservation",
+]
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """Structural distances between an observed graph and generated graphs."""
+
+    degree: float
+    clustering: float
+    cpl: float
+    gini: float
+    pwe: float
+
+    def row(self, label: str = "") -> str:
+        """One Table IV style row."""
+        cells = (
+            f"{self.degree:.3e} {self.clustering:.3e} {self.cpl:<8.3f} "
+            f"{self.gini:.3e} {self.pwe:.3e}"
+        )
+        return f"{label:<12} {cells}" if label else cells
+
+
+@dataclass(frozen=True)
+class CommunityReport:
+    """Community-preservation scores (higher is better)."""
+
+    nmi: float
+    ari: float
+
+    def row(self, label: str = "") -> str:
+        """One Table III style row; scores reported ×100 like the paper."""
+        cells = f"NMI(e-2)={self.nmi * 100:5.1f} ARI(e-2)={self.ari * 100:5.1f}"
+        return f"{label:<12} {cells}" if label else cells
+
+
+def evaluate_generation(
+    observed: Graph,
+    generated: Graph | Sequence[Graph],
+    cpl_sources: int = 64,
+    seed: int = 0,
+) -> GenerationReport:
+    """Structural-distance report between ``observed`` and ``generated``."""
+    gen_list = [generated] if isinstance(generated, Graph) else list(generated)
+    if not gen_list:
+        raise ValueError("need at least one generated graph")
+    rng = np.random.default_rng(seed)
+
+    def mean_over(fn) -> float:
+        return float(np.mean([fn(g) for g in gen_list]))
+
+    cpl_obs = characteristic_path_length(observed, cpl_sources, rng)
+    return GenerationReport(
+        degree=degree_mmd(observed, gen_list),
+        clustering=clustering_mmd(observed, gen_list),
+        cpl=mean_over(
+            lambda g: abs(cpl_obs - characteristic_path_length(g, cpl_sources, rng))
+        ),
+        gini=mean_over(lambda g: abs(gini_index(observed) - gini_index(g))),
+        pwe=mean_over(
+            lambda g: abs(powerlaw_exponent(observed) - powerlaw_exponent(g))
+        ),
+    )
+
+
+def evaluate_community_preservation(
+    observed: Graph,
+    generated: Graph | Sequence[Graph],
+    seed: int = 0,
+) -> CommunityReport:
+    """NMI/ARI between Louvain partitions of observed vs generated graphs.
+
+    The paper assumes a bijective node mapping (generated graphs keep the
+    node ids of the observed graph), so partitions are compared node-wise.
+    """
+    gen_list = [generated] if isinstance(generated, Graph) else list(generated)
+    if not gen_list:
+        raise ValueError("need at least one generated graph")
+    reference = louvain(observed, seed=seed).membership
+    nmis, aris = [], []
+    for g in gen_list:
+        if g.num_nodes != observed.num_nodes:
+            raise ValueError(
+                "community preservation needs equal node counts "
+                f"({g.num_nodes} vs {observed.num_nodes})"
+            )
+        candidate = louvain(g, seed=seed).membership
+        nmis.append(normalized_mutual_information(reference, candidate))
+        aris.append(adjusted_rand_index(reference, candidate))
+    return CommunityReport(nmi=float(np.mean(nmis)), ari=float(np.mean(aris)))

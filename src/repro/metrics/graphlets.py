@@ -1,0 +1,147 @@
+"""Exact 3- and 4-node induced graphlet counts and a graphlet distance.
+
+An extension of the paper's evaluation suite: GraphRNN-style evaluations
+also compare *orbit/graphlet statistics*, which are sensitive to local
+structure the degree and clustering histograms miss.  Counts are computed
+with closed-form edge formulas (ESCAPE-style, Pinar et al.) rather than
+enumeration:
+
+* 3-node: triangles, induced wedges (paths of length 2);
+* 4-node: path P4, star (claw), cycle C4, tailed triangle, diamond
+  (K4 minus one edge), clique K4.
+
+Each non-induced pattern count is corrected down to induced counts with the
+standard inclusion matrix.  Everything is validated against brute-force
+enumeration in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import Graph
+
+__all__ = ["GraphletCounts", "count_graphlets", "graphlet_distance"]
+
+
+@dataclass(frozen=True)
+class GraphletCounts:
+    """Induced subgraph counts of one graph."""
+
+    edges: int
+    wedges: int          # induced 2-paths
+    triangles: int
+    p4: int              # induced 3-edge paths
+    star: int            # claws K_{1,3}
+    c4: int              # chordless 4-cycles
+    tailed_triangle: int
+    diamond: int         # K4 minus an edge
+    k4: int
+
+    def vector(self) -> np.ndarray:
+        """Counts as a fixed-order array (for distances)."""
+        return np.array(
+            [
+                self.edges, self.wedges, self.triangles, self.p4,
+                self.star, self.c4, self.tailed_triangle, self.diamond,
+                self.k4,
+            ],
+            dtype=float,
+        )
+
+    def normalized(self) -> np.ndarray:
+        """Counts normalised to a distribution (zero-safe)."""
+        v = self.vector()
+        total = v.sum()
+        return v / total if total > 0 else v
+
+
+def count_graphlets(graph: Graph) -> GraphletCounts:
+    """Exact induced 3-/4-node graphlet counts for ``graph``."""
+    n = graph.num_nodes
+    m = graph.num_edges
+    if n == 0 or m == 0:
+        return GraphletCounts(m, 0, 0, 0, 0, 0, 0, 0, 0)
+    a = graph.adjacency
+    degrees = graph.degrees.astype(float)
+
+    # Per-edge triangle counts: (A² ∘ A)_uv for u < v.
+    a2 = (a @ a).multiply(a).tocsr()
+    edge_list = graph.edge_array()
+    tri_e = np.array(
+        [a2[int(u), int(v)] for u, v in edge_list], dtype=float
+    )
+    triangles = int(round(tri_e.sum() / 3.0))
+
+    wedges_non = float((degrees * (degrees - 1.0) / 2.0).sum())
+    wedges_ind = int(round(wedges_non - 3.0 * triangles))
+
+    du = degrees[edge_list[:, 0]]
+    dv = degrees[edge_list[:, 1]]
+    p4_non = float(((du - 1.0) * (dv - 1.0)).sum() - 3.0 * triangles)
+    star_non = float((degrees * (degrees - 1.0) * (degrees - 2.0) / 6.0).sum())
+    tailed_non = float(((du + dv - 4.0) * tri_e).sum() / 2.0)
+    diamond_non = float((tri_e * (tri_e - 1.0) / 2.0).sum())
+
+    # Closed 4-walks -> non-induced C4.
+    a2_full = (a @ a).toarray() if n <= 3000 else None
+    if a2_full is not None:
+        tr_a4 = float((a2_full * a2_full).sum())
+    else:  # memory-light path for big graphs
+        tr_a4 = 0.0
+        a2_csr = (a @ a).tocsr()
+        tr_a4 = float(a2_csr.multiply(a2_csr).sum())
+    c4_non = (tr_a4 - 2.0 * m - 2.0 * float((degrees * (degrees - 1.0)).sum())) / 8.0
+
+    # K4: for each edge, count edges among the common neighbours.
+    neighbours = [set(graph.neighbors(i).tolist()) for i in range(n)]
+    k4_times_6 = 0
+    for (u, v), t in zip(edge_list, tri_e):
+        if t < 2:
+            continue
+        common = neighbours[int(u)] & neighbours[int(v)]
+        common_list = list(common)
+        for i, w in enumerate(common_list):
+            nw = neighbours[w]
+            for x in common_list[i + 1 :]:
+                if x in nw:
+                    k4_times_6 += 1
+    k4 = int(round(k4_times_6 / 6.0))
+
+    diamond_ind = int(round(diamond_non - 6.0 * k4))
+    c4_ind = int(round(c4_non - diamond_ind - 3.0 * k4))
+    tailed_ind = int(round(tailed_non - 4.0 * diamond_ind - 12.0 * k4))
+    star_ind = int(round(star_non - tailed_ind - 2.0 * diamond_ind - 4.0 * k4))
+    p4_ind = int(
+        round(
+            p4_non
+            - 4.0 * c4_ind
+            - 2.0 * tailed_ind
+            - 6.0 * diamond_ind
+            - 12.0 * k4
+        )
+    )
+    return GraphletCounts(
+        edges=m,
+        wedges=wedges_ind,
+        triangles=triangles,
+        p4=p4_ind,
+        star=star_ind,
+        c4=c4_ind,
+        tailed_triangle=tailed_ind,
+        diamond=diamond_ind,
+        k4=k4,
+    )
+
+
+def graphlet_distance(observed: Graph, generated: Graph) -> float:
+    """Total-variation distance between normalised graphlet profiles.
+
+    0 means identical local-structure composition; 1 means disjoint.
+    """
+    a = count_graphlets(observed).normalized()
+    b = count_graphlets(generated).normalized()
+    return float(0.5 * np.abs(a - b).sum())

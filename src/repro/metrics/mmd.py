@@ -1,0 +1,114 @@
+"""Maximum Mean Discrepancy between graph-statistic distributions.
+
+Follows the GraphRNN evaluation protocol the paper adopts for its ``Deg.``
+and ``Clus.`` columns (Table IV): treat each graph as a sample whose feature
+is the (normalised) histogram of a node statistic, and compute the biased
+MMD² under a Gaussian-EMD kernel
+
+    k(x, y) = exp(-EMD(x, y)² / (2 σ²)).
+
+For 1-D histograms on a shared support the earth-mover distance has the
+closed form ``EMD = Σ |cumsum(x - y)|`` (scaled by the bin width).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..graphs import Graph, clustering_coefficients, degree_histogram
+
+__all__ = [
+    "emd_1d",
+    "gaussian_emd_kernel",
+    "mmd_squared",
+    "degree_mmd",
+    "clustering_mmd",
+]
+
+
+def emd_1d(hist_a: np.ndarray, hist_b: np.ndarray, bin_width: float = 1.0) -> float:
+    """Earth-mover distance between two histograms on a common support."""
+    a = np.asarray(hist_a, dtype=float)
+    b = np.asarray(hist_b, dtype=float)
+    size = max(a.size, b.size)
+    a = np.pad(a, (0, size - a.size))
+    b = np.pad(b, (0, size - b.size))
+    if a.sum() > 0:
+        a = a / a.sum()
+    if b.sum() > 0:
+        b = b / b.sum()
+    return float(np.abs(np.cumsum(a - b)).sum() * bin_width)
+
+
+def gaussian_emd_kernel(sigma: float = 1.0, bin_width: float = 1.0) -> Callable:
+    """Return k(x, y) = exp(-EMD(x,y)² / (2σ²))."""
+
+    def kernel(x: np.ndarray, y: np.ndarray) -> float:
+        d = emd_1d(x, y, bin_width)
+        return float(np.exp(-(d * d) / (2.0 * sigma * sigma)))
+
+    return kernel
+
+
+def mmd_squared(
+    samples_a: Sequence[np.ndarray],
+    samples_b: Sequence[np.ndarray],
+    kernel: Callable | None = None,
+) -> float:
+    """Biased MMD² between two samples of histograms."""
+    if not samples_a or not samples_b:
+        raise ValueError("both sample sets must be non-empty")
+    kernel = kernel or gaussian_emd_kernel()
+
+    def mean_kernel(xs, ys) -> float:
+        return float(np.mean([[kernel(x, y) for y in ys] for x in xs]))
+
+    value = (
+        mean_kernel(samples_a, samples_a)
+        + mean_kernel(samples_b, samples_b)
+        - 2.0 * mean_kernel(samples_a, samples_b)
+    )
+    return max(value, 0.0)
+
+
+def _as_graph_list(graphs: Graph | Sequence[Graph]) -> list[Graph]:
+    return [graphs] if isinstance(graphs, Graph) else list(graphs)
+
+
+def degree_mmd(
+    observed: Graph | Sequence[Graph],
+    generated: Graph | Sequence[Graph],
+    sigma: float = 1.0,
+) -> float:
+    """MMD² of degree distributions (paper metric ``Deg.``)."""
+    obs = _as_graph_list(observed)
+    gen = _as_graph_list(generated)
+    top = max(int(g.degrees.max()) if g.num_nodes else 0 for g in obs + gen)
+    hists_a = [degree_histogram(g, max_degree=top) for g in obs]
+    hists_b = [degree_histogram(g, max_degree=top) for g in gen]
+    return mmd_squared(hists_a, hists_b, gaussian_emd_kernel(sigma))
+
+
+def _clustering_histogram(graph: Graph, bins: int = 100) -> np.ndarray:
+    coeffs = clustering_coefficients(graph)
+    hist, __ = np.histogram(coeffs, bins=bins, range=(0.0, 1.0))
+    hist = hist.astype(float)
+    total = hist.sum()
+    return hist / total if total else hist
+
+
+def clustering_mmd(
+    observed: Graph | Sequence[Graph],
+    generated: Graph | Sequence[Graph],
+    sigma: float = 0.1,
+    bins: int = 100,
+) -> float:
+    """MMD² of local clustering-coefficient distributions (``Clus.``)."""
+    obs = _as_graph_list(observed)
+    gen = _as_graph_list(generated)
+    hists_a = [_clustering_histogram(g, bins) for g in obs]
+    hists_b = [_clustering_histogram(g, bins) for g in gen]
+    kernel = gaussian_emd_kernel(sigma, bin_width=1.0 / bins)
+    return mmd_squared(hists_a, hists_b, kernel)

@@ -1,0 +1,51 @@
+"""``repro.nn`` — NumPy reverse-mode autograd and neural layers.
+
+This package replaces the PyTorch substrate of the original CPGAN release.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .functional import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    cross_entropy_rows,
+    kl_standard_normal,
+    log_sigmoid,
+    mse,
+    spmm,
+)
+from .gradcheck import check_gradients, numerical_gradient
+from .graph_layers import DenseGraphConv, GraphConv, PairNorm, normalized_adjacency
+from .layers import GRUCell, Linear, MLP, Module, Parameter, Sequential
+from .optim import Adam, SGD, StepDecay
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "GRUCell",
+    "GraphConv",
+    "DenseGraphConv",
+    "PairNorm",
+    "normalized_adjacency",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "spmm",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy_rows",
+    "kl_standard_normal",
+    "log_sigmoid",
+    "mse",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,115 @@
+"""Free-function neural-network operations used across the reproduction.
+
+These compose :class:`repro.nn.Tensor` primitives into the losses and
+sparse-aware operations the CPGAN paper needs: numerically-stable binary
+cross-entropy (Eq. 14/16), the KL divergence against the standard normal
+prior (Eq. 19), and ``spmm`` — sparse-matrix × dense-tensor products so that
+graph convolution costs O(m + n) as the paper claims (§III-C1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "spmm",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "kl_standard_normal",
+    "mse",
+    "log_sigmoid",
+    "cross_entropy_rows",
+]
+
+_EPS = 1e-12
+
+
+def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant SciPy sparse matrix by a dense tensor.
+
+    The sparse operand carries no gradient (it is the — fixed — normalized
+    adjacency); the gradient with respect to ``dense`` is ``matrix.T @ g``.
+    Cost is O(nnz · d), i.e. O(m + n) per feature column for a graph
+    adjacency with self-loops.
+    """
+    matrix = matrix.tocsr()
+    dense = as_tensor(dense)
+    out = Tensor(matrix @ dense.data, _prev=(dense,))
+    if out._prev:
+        transposed = matrix.T.tocsr()
+
+        def backward() -> None:
+            if dense.requires_grad:
+                dense._accumulate(transposed @ out.grad)
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable ``log(sigmoid(x))``."""
+    return -softplus(-x)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` computed stably: ``max(x, 0) + log1p(exp(-|x|))``."""
+    return x.relu() + _stable_log1p_exp_neg_abs(x)
+
+
+def _stable_log1p_exp_neg_abs(x: Tensor) -> Tensor:
+    """Return ``log(1 + exp(-|x|))`` as a tensor op."""
+    neg_abs = -(x * np.sign(x.data))
+    return (neg_abs.exp() + 1.0).log()
+
+
+def binary_cross_entropy(p: Tensor, target: np.ndarray, weight=None) -> Tensor:
+    """Mean BCE between probabilities ``p`` and a 0/1 ``target`` array."""
+    p = p.clip(_EPS, 1.0 - _EPS)
+    target = np.asarray(target, dtype=float)
+    loss = -(p.log() * target + (1.0 - p).log() * (1.0 - target))
+    if weight is not None:
+        loss = loss * weight
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, target: np.ndarray, weight=None
+) -> Tensor:
+    """Mean BCE computed from logits, stable for large magnitudes."""
+    target = np.asarray(target, dtype=float)
+    # max(x,0) - x*t + log(1+exp(-|x|))
+    loss = logits.relu() - logits * target + _stable_log1p_exp_neg_abs(logits)
+    if weight is not None:
+        loss = loss * weight
+    return loss.mean()
+
+
+def kl_standard_normal(mu: Tensor, log_var: Tensor) -> Tensor:
+    """KL( N(mu, diag(exp(log_var))) || N(0, I) ), averaged over rows.
+
+    This is the ``L_prior`` term of Eq. 19 in the paper.
+    """
+    kl = (mu * mu + log_var.exp() - log_var - 1.0) * 0.5
+    return kl.sum(axis=-1).mean()
+
+
+def mse(a: Tensor, b) -> Tensor:
+    """Mean squared error between a tensor and a tensor/array."""
+    diff = a - as_tensor(b)
+    return (diff * diff).mean()
+
+
+def cross_entropy_rows(probabilities: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-probability of integer ``labels`` per row.
+
+    Used for the clustering-consistency loss ``L_clus`` (§III-F2): rows are
+    the soft community assignments ``S`` and labels the Louvain ground truth.
+    """
+    labels = np.asarray(labels, dtype=int)
+    rows = np.arange(len(labels))
+    picked = probabilities[rows, labels]
+    return -(picked.clip(_EPS, 1.0).log()).mean()

@@ -1,0 +1,67 @@
+"""Numerical gradient verification utilities.
+
+Public API for users extending :mod:`repro.nn` with custom operations:
+verify a scalar-valued function's autograd gradient against central
+differences, exactly like the checks the internal test suite runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=float).copy()
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = float(fn(x))
+        flat[i] = original - eps
+        lo = float(fn(x))
+        flat[i] = original
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert that autograd and numerical gradients of ``fn`` agree.
+
+    ``fn`` maps a Tensor to a Tensor; its output is summed to a scalar.
+    Raises ``AssertionError`` with a diagnostic on mismatch.
+    """
+    x = np.asarray(x, dtype=float)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = fn(t)
+    loss = out.sum() if out.shape else out
+    loss.backward()
+    if t.grad is None:
+        raise AssertionError("no gradient reached the input tensor")
+    expected = numerical_gradient(
+        lambda arr: float(fn(Tensor(arr)).sum().data), x, eps=eps
+    )
+    if not np.allclose(t.grad, expected, atol=atol, rtol=rtol):
+        worst = float(np.abs(t.grad - expected).max())
+        raise AssertionError(
+            f"gradient mismatch: max abs difference {worst:.3e} "
+            f"(atol={atol}, rtol={rtol})"
+        )

@@ -1,0 +1,48 @@
+"""Parameter initialisation schemes.
+
+Glorot/Xavier initialisation keeps activation variance roughly constant
+through GCN/MLP stacks, which matters for the deep ladder encoder of CPGAN.
+All initialisers take an explicit ``rng`` so model construction is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "zeros", "orthogonal"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init (used for GRU recurrent weights)."""
+    rows, cols = shape
+    if rows < cols:
+        q, _ = np.linalg.qr(rng.normal(size=(cols, rows)))
+        return np.ascontiguousarray(q.T)
+    q, _ = np.linalg.qr(rng.normal(size=(rows, cols)))
+    return np.ascontiguousarray(q)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero parameter (biases)."""
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

@@ -1,0 +1,7 @@
+"""``repro.viz`` — dependency-free SVG charts, layouts and graph drawing."""
+
+from .graph_drawing import draw_graph
+from .layout import spring_layout
+from .svg import LineChart, Series
+
+__all__ = ["LineChart", "Series", "spring_layout", "draw_graph"]

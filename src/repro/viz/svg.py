@@ -1,0 +1,193 @@
+"""A minimal, dependency-free SVG chart writer.
+
+matplotlib is not available in the offline environment, so the figure
+benches (Fig. 5, Fig. 6) render their panels with this hand-rolled SVG
+backend: line/scatter charts with axes, ticks, legends and captions.
+The output is plain SVG 1.1 readable by any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Series", "LineChart"]
+
+_PALETTE = [
+    "#4C72B0", "#DD8452", "#55A868", "#C44E52",
+    "#8172B3", "#937860", "#DA8BC3", "#8C8C8C",
+]
+
+
+@dataclass
+class Series:
+    """One plotted line: x/y data plus a legend label."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+    color: str | None = None
+    marker: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+        if not self.x:
+            raise ValueError("series needs at least one point")
+
+
+@dataclass
+class LineChart:
+    """A single-panel line chart."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 480
+    height: int = 320
+    series: list[Series] = field(default_factory=list)
+    log_y: bool = False
+
+    _MARGIN_LEFT = 64
+    _MARGIN_RIGHT = 16
+    _MARGIN_TOP = 36
+    _MARGIN_BOTTOM = 48
+
+    def add(self, series: Series) -> "LineChart":
+        if series.color is None:
+            series.color = _PALETTE[len(self.series) % len(_PALETTE)]
+        self.series.append(series)
+        return self
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([np.asarray(s.x, dtype=float) for s in self.series])
+        ys = np.concatenate([np.asarray(s.y, dtype=float) for s in self.series])
+        if self.log_y:
+            ys = np.log10(np.maximum(ys, 1e-12))
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad = 0.06 * (y_hi - y_lo)
+        return x_lo, x_hi, y_lo - pad, y_hi + pad
+
+    def _project(
+        self, x: float, y: float, bounds: tuple[float, float, float, float]
+    ) -> tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        if self.log_y:
+            y = float(np.log10(max(y, 1e-12)))
+        plot_w = self.width - self._MARGIN_LEFT - self._MARGIN_RIGHT
+        plot_h = self.height - self._MARGIN_TOP - self._MARGIN_BOTTOM
+        px = self._MARGIN_LEFT + (x - x_lo) / (x_hi - x_lo) * plot_w
+        py = self.height - self._MARGIN_BOTTOM - (y - y_lo) / (y_hi - y_lo) * plot_h
+        return px, py
+
+    @staticmethod
+    def _fmt(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.1e}"
+        return f"{value:.3g}"
+
+    def render(self) -> str:
+        """Return the chart as an SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        bounds = self._bounds()
+        x_lo, x_hi, y_lo, y_hi = bounds
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14" font-weight="bold">'
+            f"{html.escape(self.title)}</text>",
+        ]
+        # Axes box.
+        left, top = self._MARGIN_LEFT, self._MARGIN_TOP
+        right = self.width - self._MARGIN_RIGHT
+        bottom = self.height - self._MARGIN_BOTTOM
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#333"/>'
+        )
+        # Ticks: 5 per axis.
+        for i in range(5):
+            frac = i / 4.0
+            x_val = x_lo + frac * (x_hi - x_lo)
+            px, __ = self._project(x_val, y_lo, bounds)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{bottom}" x2="{px:.1f}" '
+                f'y2="{bottom + 4}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{bottom + 16}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="10">'
+                f"{self._fmt(x_val)}</text>"
+            )
+            y_val_linear = y_lo + frac * (y_hi - y_lo)
+            y_display = 10 ** y_val_linear if self.log_y else y_val_linear
+            py = bottom - frac * (bottom - top)
+            parts.append(
+                f'<line x1="{left - 4}" y1="{py:.1f}" x2="{left}" '
+                f'y2="{py:.1f}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{left - 7}" y="{py + 3:.1f}" text-anchor="end" '
+                f'font-family="sans-serif" font-size="10">'
+                f"{self._fmt(y_display)}</text>"
+            )
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{(left + right) / 2}" y="{self.height - 8}" '
+                f'text-anchor="middle" font-family="sans-serif" '
+                f'font-size="12">{html.escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cy = (top + bottom) / 2
+            parts.append(
+                f'<text x="14" y="{cy}" text-anchor="middle" '
+                f'font-family="sans-serif" font-size="12" '
+                f'transform="rotate(-90 14 {cy})">'
+                f"{html.escape(self.y_label)}</text>"
+            )
+        # Series.
+        for s in self.series:
+            points = [self._project(x, y, bounds) for x, y in zip(s.x, s.y)]
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{s.color}" '
+                f'stroke-width="2"/>'
+            )
+            if s.marker:
+                for px, py in points:
+                    parts.append(
+                        f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" '
+                        f'fill="{s.color}"/>'
+                    )
+        # Legend (top-right corner inside the plot).
+        for i, s in enumerate(self.series):
+            ly = top + 14 + 14 * i
+            parts.append(
+                f'<line x1="{right - 110}" y1="{ly - 4}" x2="{right - 90}" '
+                f'y2="{ly - 4}" stroke="{s.color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{right - 85}" y="{ly}" font-family="sans-serif" '
+                f'font-size="10">{html.escape(s.label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

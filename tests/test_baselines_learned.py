@@ -1,0 +1,175 @@
+"""Tests for the learning-based baseline generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CondGenR,
+    ErdosRenyi,
+    Graphite,
+    GraphRNNS,
+    NetGAN,
+    NotFittedError,
+    SBMGNN,
+    VGAE,
+)
+from repro.baselines.learned import bfs_bandwidth, bfs_order, sample_random_walks
+from repro.core import sample_non_edges
+from repro.datasets import community_graph
+from repro.graphs import Graph
+from repro.metrics import evaluate_community_preservation
+
+FAST = {
+    VGAE: dict(epochs=30),
+    Graphite: dict(epochs=30),
+    SBMGNN: dict(epochs=30),
+    GraphRNNS: dict(epochs=5),
+    NetGAN: dict(num_walks=500),
+    CondGenR: dict(epochs=30),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, __ = community_graph(80, 4, 6.0, mixing=0.1, seed=0)
+    return g
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", list(FAST))
+    def test_fit_generate(self, cls, graph):
+        model = cls(**FAST[cls]).fit(graph)
+        out = model.generate(seed=0)
+        assert out.num_nodes == graph.num_nodes
+        assert out.num_edges > 0
+
+    @pytest.mark.parametrize("cls", list(FAST))
+    def test_unfitted_raises(self, cls):
+        with pytest.raises(NotFittedError):
+            cls(**FAST[cls]).generate()
+
+    @pytest.mark.parametrize("cls", list(FAST))
+    def test_deterministic(self, cls, graph):
+        model = cls(**FAST[cls]).fit(graph)
+        assert model.generate(seed=7) == model.generate(seed=7)
+
+    @pytest.mark.parametrize("cls", [VGAE, Graphite, SBMGNN, CondGenR])
+    def test_losses_decrease(self, cls, graph):
+        model = cls(**FAST[cls]).fit(graph)
+        assert np.mean(model.losses[-5:]) < np.mean(model.losses[:5])
+
+    @pytest.mark.parametrize("cls", [VGAE, Graphite, SBMGNN, CondGenR, NetGAN])
+    def test_quadratic_memory_estimate(self, cls):
+        model = cls(**FAST[cls])
+        small = model.estimated_peak_memory(1_000)
+        large = model.estimated_peak_memory(10_000)
+        assert large == pytest.approx(100 * small, rel=0.01)
+
+
+class TestVGAEFamily:
+    def test_vgae_preserves_communities(self, graph):
+        model = VGAE(epochs=60).fit(graph)
+        report = evaluate_community_preservation(graph, model.generate(seed=1))
+        er = evaluate_community_preservation(
+            graph, ErdosRenyi().fit(graph).generate(seed=1)
+        )
+        assert report.nmi > er.nmi
+
+    def test_vgae_edge_probabilities_discriminate(self, graph):
+        model = VGAE(epochs=60).fit(graph)
+        pos = graph.edge_array()
+        neg = sample_non_edges(graph, len(pos), np.random.default_rng(0))
+        assert model.edge_probabilities(pos).mean() > model.edge_probabilities(
+            neg
+        ).mean()
+
+    def test_graphite_edge_probabilities(self, graph):
+        model = Graphite(epochs=40).fit(graph)
+        pos = graph.edge_array()[:20]
+        probs = model.edge_probabilities(pos)
+        assert probs.shape == (20,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestSBMGNN:
+    def test_memberships_nonnegative(self, graph):
+        model = SBMGNN(epochs=30).fit(graph)
+        assert np.all(model._memberships >= 0)
+
+    def test_edge_probabilities(self, graph):
+        model = SBMGNN(epochs=30).fit(graph)
+        pos = graph.edge_array()
+        neg = sample_non_edges(graph, len(pos), np.random.default_rng(0))
+        assert model.edge_probabilities(pos).mean() > model.edge_probabilities(
+            neg
+        ).mean()
+
+
+class TestGraphRNN:
+    def test_bfs_order_is_permutation(self, graph):
+        order = bfs_order(graph)
+        assert sorted(order.tolist()) == list(range(graph.num_nodes))
+
+    def test_bfs_order_covers_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1), (3, 4)])
+        order = bfs_order(g)
+        assert sorted(order.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_bandwidth_path_graph(self):
+        g = Graph.from_edges(5, [(i, i + 1) for i in range(4)])
+        order = bfs_order(g)
+        assert bfs_bandwidth(g, order) == 1
+
+    def test_strips_roundtrip_edge_count(self, graph):
+        model = GraphRNNS(epochs=1)
+        model.bandwidth = graph.num_nodes
+        strips = model._strips(graph)
+        assert int(strips.sum()) == graph.num_edges
+
+    def test_bandwidth_capped(self, graph):
+        model = GraphRNNS(epochs=1, max_bandwidth=8).fit(graph)
+        assert model.bandwidth <= 8
+
+    def test_memory_estimate_uses_bandwidth(self):
+        model = GraphRNNS()
+        pessimistic = model.estimated_peak_memory(1_000)
+        model.bandwidth = 10
+        fitted = model.estimated_peak_memory(1_000)
+        assert fitted < pessimistic
+
+
+class TestNetGAN:
+    def test_walks_follow_edges(self, graph):
+        rng = np.random.default_rng(0)
+        walks = sample_random_walks(graph, 50, 8, rng)
+        for walk in walks[:10]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert graph.has_edge(int(a), int(b)) or a == b
+
+    def test_scores_symmetric_nonnegative(self, graph):
+        model = NetGAN(num_walks=500).fit(graph)
+        np.testing.assert_allclose(model._scores, model._scores.T, atol=1e-9)
+        assert np.all(model._scores >= 0)
+        assert np.all(np.diag(model._scores) == 0)
+
+    def test_preserves_communities_strongly(self, graph):
+        """Random-walk scores concentrate inside communities."""
+        model = NetGAN(num_walks=2000).fit(graph)
+        report = evaluate_community_preservation(graph, model.generate(seed=1))
+        assert report.nmi > 0.5
+
+    def test_tiny_graph_fallback(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        model = NetGAN(num_walks=50, rank=10).fit(g)
+        assert model.generate(seed=0).num_nodes == 4
+
+
+class TestCondGen:
+    def test_graph_level_code_shape(self, graph):
+        model = CondGenR(epochs=20).fit(graph)
+        assert model._graph_mu.shape == (1, model.latent_dim)
+
+    def test_edge_probabilities_range(self, graph):
+        model = CondGenR(epochs=20).fit(graph)
+        probs = model.edge_probabilities(graph.edge_array()[:15])
+        assert np.all((probs >= 0) & (probs <= 1))

@@ -1,0 +1,254 @@
+"""Tests for the traditional graph generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BTER,
+    BarabasiAlbert,
+    ChungLu,
+    DegreeCorrectedSBM,
+    ErdosRenyi,
+    KroneckerGraph,
+    MixedMembershipSBM,
+    NotFittedError,
+    StochasticBlockModel,
+    sample_gnm,
+)
+from repro.community import louvain, normalized_mutual_information
+from repro.graphs import Graph, gini_index
+from repro.metrics import degree_mmd
+
+
+def planted(num_comms=3, size=20, p_in=0.35, p_out=0.02, seed=0):
+    g_nx = nx.planted_partition_graph(num_comms, size, p_in, p_out, seed=seed)
+    g = Graph.from_edges(num_comms * size, list(g_nx.edges()))
+    truth = np.repeat(np.arange(num_comms), size)
+    return g, truth
+
+
+def ba_graph(n=80, m=3, seed=0) -> Graph:
+    g_nx = nx.barabasi_albert_graph(n, m, seed=seed)
+    return Graph.from_edges(n, list(g_nx.edges()))
+
+
+ALL_GENERATORS = [
+    ErdosRenyi,
+    BarabasiAlbert,
+    ChungLu,
+    StochasticBlockModel,
+    DegreeCorrectedSBM,
+    MixedMembershipSBM,
+    BTER,
+    KroneckerGraph,
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_fit_generate_roundtrip(self, cls):
+        g, __ = planted(seed=1)
+        gen = cls().fit(g)
+        out = gen.generate(seed=0)
+        assert out.num_nodes == g.num_nodes
+        assert out.num_edges > 0
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_generate_before_fit_raises(self, cls):
+        with pytest.raises(NotFittedError):
+            cls().generate()
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, cls):
+        g, __ = planted(seed=2)
+        gen = cls().fit(g)
+        assert gen.generate(seed=5) == gen.generate(seed=5)
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_fit_returns_self(self, cls):
+        g, __ = planted(seed=3)
+        gen = cls()
+        assert gen.fit(g) is gen
+
+    def test_generate_many(self):
+        g, __ = planted()
+        graphs = ErdosRenyi().fit(g).generate_many(3, seed=0)
+        assert len(graphs) == 3
+        assert graphs[0] != graphs[1]  # different seeds
+
+
+class TestSampleGnm:
+    def test_exact_edge_count_sparse(self):
+        g = sample_gnm(100, 150, np.random.default_rng(0))
+        assert g.num_edges == 150
+
+    def test_exact_edge_count_dense(self):
+        g = sample_gnm(10, 40, np.random.default_rng(0))
+        assert g.num_edges == 40
+
+    def test_clamped_to_complete(self):
+        g = sample_gnm(5, 100, np.random.default_rng(0))
+        assert g.num_edges == 10
+
+    def test_zero_edges(self):
+        assert sample_gnm(5, 0, np.random.default_rng(0)).num_edges == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 60), st.integers(0, 1000))
+    def test_property_simple_graph(self, n, m, seed):
+        g = sample_gnm(n, m, np.random.default_rng(seed))
+        assert g.num_edges == min(m, n * (n - 1) // 2)
+
+
+class TestErdosRenyi:
+    def test_matches_edge_count_exactly(self):
+        g, __ = planted()
+        out = ErdosRenyi().fit(g).generate(seed=1)
+        assert out.num_edges == g.num_edges
+
+    def test_no_community_structure(self):
+        g, truth = planted(p_in=0.5, p_out=0.01, seed=4)
+        out = ErdosRenyi().fit(g).generate(seed=1)
+        labels = louvain(out, seed=0).membership
+        assert normalized_mutual_information(truth, labels) < 0.35
+
+
+class TestBarabasiAlbert:
+    def test_heavy_tail(self):
+        """BA degrees are more unequal than an ER with the same density."""
+        g = ba_graph(seed=5)
+        out = BarabasiAlbert().fit(g).generate(seed=1)
+        er_out = ErdosRenyi().fit(g).generate(seed=1)
+        assert gini_index(out) > gini_index(er_out)
+
+    def test_attach_parameter_estimated(self):
+        g = ba_graph(n=100, m=4, seed=6)
+        gen = BarabasiAlbert().fit(g)
+        assert 3 <= gen.attach <= 5
+
+    def test_tiny_graph(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        out = BarabasiAlbert().fit(g).generate(seed=0)
+        assert out.num_nodes == 3
+
+
+class TestChungLu:
+    def test_degree_distribution_better_than_er(self):
+        g = ba_graph(n=150, m=3, seed=7)
+        cl_mmd = degree_mmd(g, ChungLu().fit(g).generate(seed=1))
+        er_mmd = degree_mmd(g, ErdosRenyi().fit(g).generate(seed=1))
+        assert cl_mmd < 0.5 * er_mmd
+
+    def test_expected_degrees_close(self):
+        g = ba_graph(n=150, m=3, seed=8)
+        gen = ChungLu().fit(g)
+        outs = [gen.generate(seed=s) for s in range(5)]
+        mean_deg = np.mean([o.degrees for o in outs], axis=0)
+        # Hubs stay hubs: rank correlation with observed degrees is high.
+        rho = np.corrcoef(np.argsort(np.argsort(mean_deg)),
+                          np.argsort(np.argsort(g.degrees)))[0, 1]
+        assert rho > 0.6
+
+    def test_empty_graph(self):
+        out = ChungLu().fit(Graph.empty(5)).generate(seed=0)
+        assert out.num_edges == 0
+
+
+class TestSBMFamily:
+    def test_sbm_preserves_planted_communities(self):
+        g, truth = planted(p_in=0.4, p_out=0.01, seed=9)
+        out = StochasticBlockModel(labels=truth).fit(g).generate(seed=1)
+        labels = louvain(out, seed=0).membership
+        assert normalized_mutual_information(truth, labels) > 0.8
+
+    def test_sbm_fit_without_labels_uses_spectral_kmeans(self):
+        g, truth = planted(p_in=0.4, p_out=0.01, seed=10)
+        gen = StochasticBlockModel().fit(g)
+        # Honest fitting: at most max_blocks blocks, partially aligned with
+        # the planted structure (see blockmodels._fit_labels).
+        assert np.unique(gen.labels).size <= gen.max_blocks
+        assert normalized_mutual_information(gen.labels, truth) > 0.3
+
+    def test_sbm_oracle_fit_with_max_blocks_none(self):
+        g, truth = planted(p_in=0.4, p_out=0.01, seed=10)
+        gen = StochasticBlockModel(max_blocks=None).fit(g)  # oracle: Louvain
+        assert normalized_mutual_information(gen.labels, truth) > 0.8
+
+    def test_sbm_label_length_validation(self):
+        g, __ = planted()
+        with pytest.raises(ValueError):
+            StochasticBlockModel(labels=np.zeros(3)).fit(g)
+
+    def test_sbm_edge_count_roughly_preserved(self):
+        g, truth = planted(seed=11)
+        out = StochasticBlockModel(labels=truth).fit(g).generate(seed=1)
+        assert abs(out.num_edges - g.num_edges) / g.num_edges < 0.25
+
+    def test_dcsbm_preserves_degree_heterogeneity_better_than_sbm(self):
+        # Power-law-ish degrees inside two communities.
+        rng = np.random.default_rng(0)
+        g_nx = nx.barabasi_albert_graph(60, 3, seed=12)
+        relabel = {i: i for i in range(60)}
+        g = Graph.from_edges(60, list(g_nx.edges()))
+        truth = (np.arange(60) < 30).astype(int)
+        sbm_out = StochasticBlockModel(labels=truth).fit(g).generate(seed=1)
+        dc_out = DegreeCorrectedSBM(labels=truth).fit(g).generate(seed=1)
+        sbm_gini_err = abs(gini_index(sbm_out) - gini_index(g))
+        dc_gini_err = abs(gini_index(dc_out) - gini_index(g))
+        assert dc_gini_err <= sbm_gini_err + 0.02
+
+    def test_mmsb_generates_communities(self):
+        g, truth = planted(p_in=0.45, p_out=0.01, seed=13)
+        out = MixedMembershipSBM(labels=truth).fit(g).generate(seed=1)
+        labels = louvain(out, seed=0).membership
+        assert normalized_mutual_information(truth, labels) > 0.5
+
+    def test_mmsb_memory_estimate_quadratic(self):
+        gen = MixedMembershipSBM()
+        assert gen.estimated_peak_memory(10_000) == pytest.approx(
+            100 * gen.estimated_peak_memory(1_000), rel=0.01
+        )
+
+
+class TestBTER:
+    def test_preserves_degree_distribution_better_than_er(self):
+        g = ba_graph(n=120, m=3, seed=14)
+        bter_mmd = degree_mmd(g, BTER().fit(g).generate(seed=1))
+        er_mmd = degree_mmd(g, ErdosRenyi().fit(g).generate(seed=1))
+        assert bter_mmd < 0.5 * er_mmd
+
+    def test_produces_clustering(self):
+        """BTER's affinity blocks must produce triangles, unlike Chung-Lu."""
+        from repro.graphs import average_clustering
+
+        g_nx = nx.connected_watts_strogatz_graph(100, 8, 0.1, seed=15)
+        g = Graph.from_edges(100, list(g_nx.edges()))
+        bter_out = BTER().fit(g).generate(seed=1)
+        cl_out = ChungLu().fit(g).generate(seed=1)
+        assert average_clustering(bter_out) > average_clustering(cl_out)
+
+
+class TestKronecker:
+    def test_edge_count_approximately_met(self):
+        g = ba_graph(n=100, m=3, seed=16)
+        out = KroneckerGraph().fit(g).generate(seed=1)
+        assert out.num_edges >= 0.8 * g.num_edges
+
+    def test_initiator_is_valid_distribution(self):
+        g = ba_graph(seed=17)
+        gen = KroneckerGraph().fit(g)
+        a, b, d = gen.initiator
+        assert 0 <= a <= 1 and 0 <= b <= 1 and 0 <= d <= 1
+        assert a + 2 * b + d == pytest.approx(1.0, abs=1e-6)
+
+    def test_skewed_input_gets_skewed_initiator(self):
+        flat = Graph.from_edges(
+            64, [(i, (i + 1) % 64) for i in range(64)]
+        )  # ring: gini 0
+        skewed = ba_graph(n=64, m=2, seed=18)
+        a_flat = KroneckerGraph().fit(flat).initiator[0]
+        a_skew = KroneckerGraph().fit(skewed).initiator[0]
+        assert a_skew > a_flat

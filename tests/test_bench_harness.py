@@ -1,0 +1,130 @@
+"""Tests for the bench harness: memory model, rosters, experiment cells."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ErdosRenyi, MemoryBudgetExceeded, VGAE
+from repro.bench import (
+    ALL_MODELS,
+    BenchSettings,
+    check_memory,
+    format_mean_std,
+    make_model,
+    measure_peak_memory,
+    run_community_cell,
+    run_quality_cell,
+    scaled_budget,
+    settings_from_env,
+)
+from repro.datasets import Dataset, DatasetSpec, community_graph
+
+
+def tiny_settings(**kwargs):
+    defaults = dict(
+        scale=0.05, epochs=10, seeds=2, datasets=("citeseer",), label="test"
+    )
+    defaults.update(kwargs)
+    return BenchSettings(**defaults)
+
+
+def tiny_dataset(n=60) -> Dataset:
+    graph, labels = community_graph(n, 4, 5.0, seed=0)
+    spec = DatasetSpec("toy", n, graph.num_edges, 4, 5.0, 3.0, 0.3, 2.5, "toy")
+    return Dataset(spec=spec, graph=graph, labels=labels, scale=1.0)
+
+
+class TestMemoryModel:
+    def test_scaled_budget_quadratic(self):
+        assert scaled_budget(0.1) == pytest.approx(
+            scaled_budget(1.0) * 0.01, rel=1e-6
+        )
+
+    def test_scaled_budget_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_budget(0.0)
+
+    def test_check_memory_passes_small(self):
+        check_memory(ErdosRenyi(), 1_000)  # traditional: O(n), never OOM
+
+    def test_check_memory_raises_for_dense_model_on_large_graph(self):
+        with pytest.raises(MemoryBudgetExceeded):
+            check_memory(VGAE(), 1_000_000)
+
+    def test_oom_pattern_matches_paper_at_full_scale(self):
+        """Table III: VGAE fits Citeseer (3327) but OOMs PubMed (19717)."""
+        model = VGAE()
+        check_memory(model, 3_327)  # must not raise
+        with pytest.raises(MemoryBudgetExceeded):
+            check_memory(model, 19_717)
+
+    def test_oom_pattern_preserved_at_reduced_scale(self):
+        """Scaling nodes and budget together keeps the OOM boundary."""
+        scale = 0.1
+        budget = scaled_budget(scale)
+        model = VGAE()
+        check_memory(model, int(3_327 * scale), budget)
+        with pytest.raises(MemoryBudgetExceeded):
+            check_memory(model, int(19_717 * scale), budget)
+
+    def test_measure_peak_memory(self):
+        def allocate():
+            return np.zeros(1_000_000)
+
+        result, peak = measure_peak_memory(allocate)
+        assert result.size == 1_000_000
+        assert peak >= 8 * 1_000_000
+
+
+class TestRoster:
+    def test_all_models_instantiable(self):
+        settings = tiny_settings()
+        for name in ALL_MODELS:
+            model = make_model(name, settings)
+            assert model.name == name or name.startswith("CPGAN")
+
+    def test_cpgan_variants(self):
+        settings = tiny_settings()
+        assert make_model("CPGAN-C", settings).config.decoder_mode == "concat"
+        assert not make_model("CPGAN-noV", settings).config.use_variational
+        assert not make_model("CPGAN-noH", settings).config.use_hierarchy
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_model("GPT-5", tiny_settings())
+
+    def test_settings_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        monkeypatch.setenv("REPRO_SEEDS", "3")
+        settings = settings_from_env()
+        assert settings.seeds == 3
+        assert settings.label == "small"
+
+    def test_settings_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            settings_from_env()
+
+
+class TestCells:
+    def test_community_cell_er(self):
+        cell = run_community_cell("E-R", tiny_dataset(), tiny_settings())
+        assert not cell.oom
+        assert 0.0 <= cell.nmi_mean <= 1.0
+        assert "±" in cell.row_fragment()
+
+    def test_quality_cell_er(self):
+        cell = run_quality_cell("E-R", tiny_dataset(), tiny_settings())
+        assert not cell.oom
+        assert np.isfinite(cell.degree)
+        assert len(cell.row_fragment().split()) == 5
+
+    def test_oom_cell_rendering(self):
+        # Force OOM with a zero budget via huge node count & tiny budget.
+        settings = tiny_settings(scale=1e-4)
+        cell = run_community_cell("VGAE", tiny_dataset(n=200), settings)
+        assert cell.oom
+        assert "OOM" in cell.row_fragment()
+
+    def test_format_mean_std(self):
+        assert format_mean_std([1.0, 2.0, 3.0]) == "2.00±0.82"
+        assert format_mean_std([0.5], scale=100) == "50.00±0.00"

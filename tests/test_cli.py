@@ -1,0 +1,117 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import community_graph
+from repro.graphs import read_edge_list, write_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph, __ = community_graph(60, 4, 5.0, seed=0)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestStats:
+    def test_stats_prints_statistics(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Graph(n=60" in out
+        assert "CPL=" in out
+
+
+class TestDatasets:
+    def test_lists_all_six(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("citeseer", "pubmed", "ppi", "point_cloud", "facebook", "google"):
+            assert name in out
+
+
+class TestSynth:
+    def test_writes_edge_list(self, tmp_path, capsys):
+        out_path = tmp_path / "synth.txt"
+        assert main(
+            ["synth", "ppi", "-o", str(out_path), "--scale", "0.03"]
+        ) == 0
+        graph = read_edge_list(out_path)
+        assert graph.num_nodes > 0
+
+
+class TestFitGenerateEvaluate:
+    def test_full_pipeline(self, graph_file, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert main(
+            [
+                "fit", str(graph_file), "-o", str(model_path),
+                "--epochs", "8", "--hidden-dim", "16", "--latent-dim", "8",
+            ]
+        ) == 0
+        assert model_path.exists()
+
+        out_path = tmp_path / "generated.txt"
+        assert main(
+            ["generate", str(model_path), "-o", str(out_path), "--seed", "1"]
+        ) == 0
+        generated = read_edge_list(out_path)
+        assert generated.num_nodes == 60
+
+        assert main(["evaluate", str(graph_file), str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "structure" in out
+        assert "NMI" in out
+
+    def test_generate_multiple(self, graph_file, tmp_path):
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "fit", str(graph_file), "-o", str(model_path),
+                "--epochs", "5", "--hidden-dim", "16", "--latent-dim", "8",
+            ]
+        )
+        out_path = tmp_path / "gen.txt"
+        assert main(
+            ["generate", str(model_path), "-o", str(out_path), "--count", "2"]
+        ) == 0
+        assert (tmp_path / "gen_0.txt").exists()
+        assert (tmp_path / "gen_1.txt").exists()
+
+    def test_generate_different_size(self, graph_file, tmp_path):
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "fit", str(graph_file), "-o", str(model_path),
+                "--epochs", "5", "--hidden-dim", "16", "--latent-dim", "8",
+            ]
+        )
+        out_path = tmp_path / "bigger.txt"
+        assert main(
+            [
+                "generate", str(model_path), "-o", str(out_path),
+                "--num-nodes", "90",
+            ]
+        ) == 0
+        assert read_edge_list(out_path).num_nodes == 90
+
+    def test_evaluate_size_mismatch_skips_community(
+        self, graph_file, tmp_path, capsys
+    ):
+        other, __ = community_graph(40, 3, 5.0, seed=2)
+        other_path = tmp_path / "other.txt"
+        write_edge_list(other, other_path)
+        assert main(["evaluate", str(graph_file), str(other_path)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

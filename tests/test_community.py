@@ -1,0 +1,227 @@
+"""Tests for Louvain, modularity, and partition metrics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community import (
+    adjusted_rand_index,
+    contingency_table,
+    hierarchical_labels,
+    louvain,
+    modularity,
+    mutual_information,
+    normalized_mutual_information,
+    rand_index,
+)
+from repro.graphs import Graph
+
+
+def planted_two_cliques(size=10, bridges=1) -> Graph:
+    """Two cliques of ``size`` joined by ``bridges`` edges."""
+    edges = [(i, j) for i in range(size) for j in range(i + 1, size)]
+    edges += [
+        (size + i, size + j) for i in range(size) for j in range(i + 1, size)
+    ]
+    edges += [(b, size + b) for b in range(bridges)]
+    return Graph.from_edges(2 * size, edges)
+
+
+def planted_partition(
+    num_comms=4, comm_size=25, p_in=0.3, p_out=0.01, seed=0
+) -> tuple[Graph, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    n = num_comms * comm_size
+    truth = np.repeat(np.arange(num_comms), comm_size)
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if truth[i] == truth[j] else p_out
+            if rng.random() < p:
+                edges.append((i, j))
+    return Graph.from_edges(n, edges), truth
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        g_nx = nx.gnp_random_graph(40, 0.15, seed=1)
+        g = Graph.from_edges(40, list(g_nx.edges()))
+        labels = np.array([i % 4 for i in range(40)])
+        communities = [
+            {i for i in range(40) if labels[i] == c} for c in range(4)
+        ]
+        expected = nx.algorithms.community.modularity(g_nx, communities)
+        np.testing.assert_allclose(modularity(g, labels), expected, atol=1e-12)
+
+    def test_two_cliques_good_partition_high_q(self):
+        g = planted_two_cliques()
+        truth = np.array([0] * 10 + [1] * 10)
+        random_labels = np.arange(20) % 2
+        assert modularity(g, truth) > modularity(g, random_labels)
+
+    def test_single_community_zero(self):
+        g = planted_two_cliques()
+        q = modularity(g, np.zeros(20, dtype=int))
+        np.testing.assert_allclose(q, 0.0, atol=1e-12)
+
+    def test_empty_graph(self):
+        assert modularity(Graph.empty(3), np.zeros(3, dtype=int)) == 0.0
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            modularity(planted_two_cliques(), np.zeros(3, dtype=int))
+
+
+class TestLouvain:
+    def test_recovers_two_cliques(self):
+        g = planted_two_cliques()
+        result = louvain(g, seed=0)
+        truth = np.array([0] * 10 + [1] * 10)
+        assert adjusted_rand_index(result.membership, truth) == pytest.approx(1.0)
+        assert result.num_communities == 2
+
+    def test_recovers_planted_partition(self):
+        g, truth = planted_partition()
+        result = louvain(g, seed=0)
+        assert normalized_mutual_information(result.membership, truth) > 0.9
+
+    def test_modularity_positive_on_community_graph(self):
+        g, __ = planted_partition()
+        result = louvain(g, seed=0)
+        assert result.modularity > 0.3
+
+    def test_levels_are_nested_coarsenings(self):
+        g, __ = planted_partition(num_comms=8, comm_size=12, seed=2)
+        result = louvain(g, seed=0)
+        assert len(result.levels) >= 1
+        sizes = [np.unique(level).size for level in result.levels]
+        assert sizes == sorted(sizes, reverse=True)
+        # Nesting: level l+1 must merge whole communities of level l.
+        for finer, coarser in zip(result.levels, result.levels[1:]):
+            for comm in np.unique(finer):
+                members = coarser[finer == comm]
+                assert np.unique(members).size == 1
+
+    def test_empty_graph_singletons(self):
+        result = louvain(Graph.empty(5))
+        assert result.num_communities == 5
+
+    def test_deterministic_given_seed(self):
+        g, __ = planted_partition(seed=3)
+        r1 = louvain(g, seed=7)
+        r2 = louvain(g, seed=7)
+        np.testing.assert_array_equal(r1.membership, r2.membership)
+
+    def test_comparable_quality_to_networkx_louvain(self):
+        g_nx = nx.planted_partition_graph(4, 30, 0.3, 0.02, seed=5)
+        g = Graph.from_edges(120, list(g_nx.edges()))
+        ours = louvain(g, seed=0).modularity
+        theirs_comms = nx.algorithms.community.louvain_communities(g_nx, seed=0)
+        theirs = nx.algorithms.community.modularity(g_nx, theirs_comms)
+        assert ours >= theirs - 0.05
+
+    def test_resolution_controls_community_count(self):
+        g, __ = planted_partition()
+        low = louvain(g, seed=0, resolution=0.2).num_communities
+        high = louvain(g, seed=0, resolution=3.0).num_communities
+        assert low <= high
+
+
+class TestHierarchicalLabels:
+    def test_exact_level_count(self):
+        g, __ = planted_partition()
+        for k in (1, 2, 4):
+            levels = hierarchical_labels(g, k)
+            assert len(levels) == k
+
+    def test_padding_repeats_coarsest(self):
+        g = planted_two_cliques()
+        levels = hierarchical_labels(g, 6)
+        np.testing.assert_array_equal(levels[-1], levels[-2])
+
+    def test_invalid_level_count(self):
+        with pytest.raises(ValueError):
+            hierarchical_labels(planted_two_cliques(), 0)
+
+
+class TestPartitionMetrics:
+    def test_contingency_table_known(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 1, 1]
+        table = contingency_table(a, b)
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_contingency_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table([0, 1], [0, 1, 2])
+
+    def test_perfect_agreement(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [5, 5, 9, 9, 7, 7]  # same partition, different names
+        assert rand_index(a, b) == pytest.approx(1.0)
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_ari_known_value(self):
+        # Canonical example from Hubert & Arabie / sklearn docs.
+        a = [0, 0, 1, 1]
+        b = [0, 0, 1, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.57, abs=0.01)
+
+    def test_ari_zero_expected_for_random(self):
+        rng = np.random.default_rng(0)
+        values = [
+            adjusted_rand_index(rng.integers(0, 5, 500), rng.integers(0, 5, 500))
+            for _ in range(20)
+        ]
+        assert abs(np.mean(values)) < 0.02
+
+    def test_nmi_less_than_one_for_partial_overlap(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        assert 0.0 < normalized_mutual_information(a, b) < 1.0
+
+    def test_mi_independent_partitions_zero(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_trivial_partitions(self):
+        assert normalized_mutual_information([0, 0, 0], [1, 1, 1]) == 1.0
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+        assert adjusted_rand_index([0, 1, 2], [5, 5, 5]) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=60))
+    def test_property_self_comparison_is_perfect(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+        assert rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 4), min_size=2, max_size=40),
+        st.integers(0, 10_000),
+    )
+    def test_property_symmetry(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 4, len(labels))
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+        assert normalized_mutual_information(labels, other) == pytest.approx(
+            normalized_mutual_information(other, labels)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 3), min_size=2, max_size=40),
+        st.integers(0, 10_000),
+    )
+    def test_property_nmi_bounds(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, len(labels))
+        value = normalized_mutual_information(labels, other)
+        assert 0.0 <= value <= 1.0

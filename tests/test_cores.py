@@ -1,0 +1,65 @@
+"""Tests for the k-core decomposition."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, core_numbers, core_size_profile, max_core
+
+
+def nx_graph(n=60, p=0.12, seed=0):
+    g_nx = nx.gnp_random_graph(n, p, seed=seed)
+    return Graph.from_edges(n, list(g_nx.edges())), g_nx
+
+
+class TestCoreNumbers:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g, g_nx = nx_graph(seed=seed)
+        expected = np.array([c for __, c in sorted(nx.core_number(g_nx).items())])
+        np.testing.assert_array_equal(core_numbers(g), expected)
+
+    def test_clique_core(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = Graph.from_edges(5, edges)
+        np.testing.assert_array_equal(core_numbers(g), [4] * 5)
+
+    def test_tree_core_is_one(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)])
+        assert max_core(g) == 1
+
+    def test_isolated_nodes_zero(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        cores = core_numbers(g)
+        assert cores[2] == 0 and cores[3] == 0
+
+    def test_empty_graph(self):
+        assert max_core(Graph.empty(0)) == 0
+        assert core_size_profile(Graph.empty(0)).tolist() == [0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 10_000))
+    def test_property_matches_networkx(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g_nx = nx.gnp_random_graph(n, rng.uniform(0.05, 0.5), seed=seed)
+        g = Graph.from_edges(n, list(g_nx.edges()))
+        expected = np.array([c for __, c in sorted(nx.core_number(g_nx).items())])
+        np.testing.assert_array_equal(core_numbers(g), expected)
+
+
+class TestProfile:
+    def test_monotone_decreasing(self):
+        g, __ = nx_graph(seed=7)
+        profile = core_size_profile(g)
+        assert np.all(np.diff(profile) <= 0)
+
+    def test_k0_counts_all_nodes(self):
+        g, __ = nx_graph(seed=8)
+        assert core_size_profile(g)[0] == g.num_nodes
+
+    def test_dense_graphs_have_larger_cores(self):
+        sparse, __ = nx_graph(p=0.05, seed=9)
+        dense, __ = nx_graph(p=0.4, seed=9)
+        assert max_core(dense) > max_core(sparse)

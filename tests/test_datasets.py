@@ -1,0 +1,131 @@
+"""Tests for the synthetic dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.community import louvain, normalized_mutual_information
+from repro.datasets import (
+    DATASETS,
+    available,
+    community_graph,
+    knn_point_cloud_graph,
+    load,
+    powerlaw_degrees,
+)
+from repro.graphs import gini_index, powerlaw_exponent
+
+
+class TestPowerlawDegrees:
+    def test_mean_degree_matched(self):
+        rng = np.random.default_rng(0)
+        degrees = powerlaw_degrees(5000, 2.5, 6.0, rng)
+        assert abs(degrees.mean() - 6.0) / 6.0 < 0.15
+
+    def test_min_degree_respected(self):
+        rng = np.random.default_rng(1)
+        degrees = powerlaw_degrees(1000, 2.2, 3.0, rng, d_min=1)
+        assert degrees.min() >= 1
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(2)
+        degrees = powerlaw_degrees(5000, 2.2, 5.0, rng)
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_empty(self):
+        assert powerlaw_degrees(0, 2.5, 3.0, np.random.default_rng(0)).size == 0
+
+
+class TestCommunityGraph:
+    def test_louvain_recovers_planted_communities(self):
+        graph, labels = community_graph(400, 8, 8.0, mixing=0.08, seed=0)
+        detected = louvain(graph, seed=0).membership
+        assert normalized_mutual_information(labels, detected) > 0.7
+
+    def test_mixing_controls_recoverability(self):
+        low_mix, labels_a = community_graph(300, 6, 8.0, mixing=0.05, seed=1)
+        high_mix, labels_b = community_graph(300, 6, 8.0, mixing=0.6, seed=1)
+        nmi_low = normalized_mutual_information(
+            labels_a, louvain(low_mix, seed=0).membership
+        )
+        nmi_high = normalized_mutual_information(
+            labels_b, louvain(high_mix, seed=0).membership
+        )
+        assert nmi_low > nmi_high
+
+    def test_degree_heterogeneity(self):
+        graph, __ = community_graph(500, 10, 6.0, exponent=2.1, seed=2)
+        assert gini_index(graph) > 0.2
+
+    def test_mean_degree_approx(self):
+        graph, __ = community_graph(500, 10, 8.0, seed=3)
+        assert abs(graph.mean_degree() - 8.0) / 8.0 < 0.35
+
+    def test_labels_cover_all_communities(self):
+        __, labels = community_graph(200, 5, 6.0, seed=4)
+        assert np.unique(labels).size == 5
+
+    def test_deterministic(self):
+        g1, l1 = community_graph(150, 4, 5.0, seed=9)
+        g2, l2 = community_graph(150, 4, 5.0, seed=9)
+        assert g1 == g2
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 3, 5.0, mixing=1.5)
+        with pytest.raises(ValueError):
+            community_graph(10, 99, 5.0)
+
+
+class TestPointCloud:
+    def test_knn_degree_at_least_k(self):
+        graph, __ = knn_point_cloud_graph(300, k=4, seed=0)
+        # Every node has at least k incident edges (kNN is symmetrised).
+        assert graph.degrees.min() >= 4
+
+    def test_clusters_are_communities(self):
+        graph, labels = knn_point_cloud_graph(400, k=4, num_clusters=8, seed=1)
+        detected = louvain(graph, seed=0).membership
+        assert normalized_mutual_information(labels, detected) > 0.6
+
+    def test_deterministic(self):
+        g1, __ = knn_point_cloud_graph(100, seed=5)
+        g2, __ = knn_point_cloud_graph(100, seed=5)
+        assert g1 == g2
+
+
+class TestRegistry:
+    def test_all_six_datasets_present(self):
+        assert available() == [
+            "citeseer", "pubmed", "ppi", "point_cloud", "facebook", "google"
+        ]
+
+    @pytest.mark.parametrize("name", ["citeseer", "ppi", "point_cloud"])
+    def test_load_small_scale(self, name):
+        ds = load(name, scale=0.05, seed=0)
+        assert ds.graph.num_nodes > 0
+        assert ds.labels.shape[0] == ds.graph.num_nodes
+        assert ds.name == name
+
+    def test_scaled_node_count(self):
+        ds = load("citeseer", scale=0.1)
+        expected = round(DATASETS["citeseer"].num_nodes * 0.1)
+        assert abs(ds.graph.num_nodes - expected) <= 1
+
+    def test_gini_in_right_regime(self):
+        """Stand-in degree inequality should be in the paper's ballpark."""
+        ds = load("pubmed", scale=0.05, seed=0)
+        assert gini_index(ds.graph) > 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("imaginary")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load("citeseer", scale=0.0)
+
+    def test_mean_degree_tracks_spec(self):
+        dense = load("facebook", scale=0.01, seed=0)
+        sparse = load("citeseer", scale=0.1, seed=0)
+        assert dense.graph.mean_degree() > sparse.graph.mean_degree()

@@ -1,0 +1,77 @@
+"""Tests for §III-F2 convergence stopping and the public gradcheck API."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN, CPGANConfig
+from repro.datasets import community_graph
+from repro.nn import Tensor, check_gradients, numerical_gradient
+
+
+def stopping_config(**kwargs):
+    defaults = dict(
+        input_dim=4, node_embedding_dim=8, hidden_dim=16, latent_dim=8,
+        pool_size=8, sample_size=80, seed=0,
+    )
+    defaults.update(kwargs)
+    return CPGANConfig(**defaults)
+
+
+class TestEarlyStopping:
+    def test_stops_before_max_epochs_when_converged(self):
+        graph, __ = community_graph(60, 3, 5.0, seed=0)
+        model = CPGAN(
+            stopping_config(
+                epochs=500, early_stopping=True, patience=10,
+                convergence_tol=0.5,   # generous: converge quickly
+            )
+        ).fit(graph)
+        assert len(model.history.total) < 500
+
+    def test_runs_full_epochs_without_flag(self):
+        graph, __ = community_graph(60, 3, 5.0, seed=0)
+        model = CPGAN(stopping_config(epochs=25)).fit(graph)
+        assert len(model.history.total) == 25
+
+    def test_strict_tolerance_does_not_stop_early(self):
+        graph, __ = community_graph(60, 3, 5.0, seed=0)
+        model = CPGAN(
+            stopping_config(
+                epochs=30, early_stopping=True, patience=5,
+                convergence_tol=1e-12,
+            )
+        ).fit(graph)
+        assert len(model.history.total) == 30
+
+    def test_needs_two_windows_of_history(self):
+        model = CPGAN(stopping_config(early_stopping=True, patience=30))
+        model.history.total = [1.0] * 10
+        assert not model._converged()
+
+
+class TestGradcheckAPI:
+    def test_numerical_gradient_quadratic(self):
+        grad = numerical_gradient(lambda x: float((x**2).sum()), np.array([1.0, -2.0]))
+        np.testing.assert_allclose(grad, [2.0, -4.0], atol=1e-5)
+
+    def test_check_gradients_passes_for_correct_op(self):
+        check_gradients(lambda t: (t * t).sum(), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_check_gradients_catches_wrong_gradient(self):
+        # Build a deliberately broken op: forward x², backward of x³.
+        def broken(t: Tensor) -> Tensor:
+            out = Tensor(t.data**2, _prev=(t,))
+
+            def backward():
+                t._accumulate(3.0 * t.data**2 * out.grad)
+
+            out._backward = backward
+            out.requires_grad = True
+            return out
+
+        with pytest.raises(AssertionError, match="mismatch"):
+            check_gradients(broken, np.array([1.0, 2.0]))
+
+    def test_check_gradients_detects_missing_gradient(self):
+        with pytest.raises(AssertionError, match="no gradient"):
+            check_gradients(lambda t: Tensor(t.data * 2.0), np.ones(3))

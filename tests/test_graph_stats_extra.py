@@ -1,0 +1,112 @@
+"""Tests for the extension graph statistics (assortativity, wedges, LCC)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    degree_assortativity,
+    largest_component_fraction,
+    wedge_count,
+)
+
+
+def nx_to_graph(g_nx: nx.Graph) -> Graph:
+    return Graph.from_edges(g_nx.number_of_nodes(), list(g_nx.edges()))
+
+
+class TestAssortativity:
+    def test_matches_networkx(self):
+        g_nx = nx.barabasi_albert_graph(80, 3, seed=0)
+        ours = degree_assortativity(nx_to_graph(g_nx))
+        theirs = nx.degree_assortativity_coefficient(g_nx)
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_star_is_disassortative(self):
+        star = Graph.from_edges(11, [(0, i) for i in range(1, 11)])
+        # All edges connect degree-10 hub to degree-1 leaves.
+        assert degree_assortativity(star) < 0.0 or np.isclose(
+            degree_assortativity(star), 0.0
+        )
+
+    def test_regular_graph_zero(self):
+        ring = Graph.from_edges(10, [(i, (i + 1) % 10) for i in range(10)])
+        assert degree_assortativity(ring) == 0.0
+
+    def test_too_few_edges(self):
+        assert degree_assortativity(Graph.from_edges(3, [(0, 1)])) == 0.0
+
+
+class TestWedges:
+    def test_matches_formula(self):
+        g_nx = nx.gnp_random_graph(40, 0.2, seed=1)
+        g = nx_to_graph(g_nx)
+        expected = sum(d * (d - 1) // 2 for __, d in g_nx.degree())
+        assert wedge_count(g) == expected
+
+    def test_triangle_has_three_wedges(self):
+        tri = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert wedge_count(tri) == 3
+
+    def test_empty(self):
+        assert wedge_count(Graph.empty(5)) == 0
+
+
+class TestLCCFraction:
+    def test_connected_graph(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert largest_component_fraction(g) == 1.0
+
+    def test_half_split(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert largest_component_fraction(g) == 0.5
+
+    def test_empty_graph(self):
+        assert largest_component_fraction(Graph.empty(0)) == 0.0
+
+    def test_isolated_nodes(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2)])
+        assert largest_component_fraction(g) == pytest.approx(0.6)
+
+
+class TestKMeans:
+    def test_kmeans_separates_blobs(self):
+        from repro.community import kmeans
+
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 2)) + np.array([5.0, 0.0])
+        b = rng.normal(size=(30, 2)) - np.array([5.0, 0.0])
+        labels = kmeans(np.vstack([a, b]), 2, np.random.default_rng(1))
+        assert np.unique(labels[:30]).size == 1
+        assert np.unique(labels[30:]).size == 1
+        assert labels[0] != labels[30]
+
+    def test_kmeans_single_cluster(self):
+        from repro.community import kmeans
+
+        labels = kmeans(np.zeros((10, 2)), 1, np.random.default_rng(0))
+        assert np.all(labels == 0)
+
+    def test_kmeans_clusters_capped_at_points(self):
+        from repro.community import kmeans
+
+        labels = kmeans(np.eye(3), 10, np.random.default_rng(0))
+        assert labels.shape == (3,)
+
+    def test_spectral_clustering_recovers_cliques(self):
+        from repro.community import spectral_clustering
+        from repro.community import normalized_mutual_information
+
+        edges = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        edges += [(8 + i, 8 + j) for i in range(8) for j in range(i + 1, 8)]
+        edges += [(0, 8)]
+        g = Graph.from_edges(16, edges)
+        labels = spectral_clustering(g, 2, seed=0)
+        truth = np.array([0] * 8 + [1] * 8)
+        assert normalized_mutual_information(labels, truth) > 0.9
+
+    def test_spectral_clustering_empty(self):
+        from repro.community import spectral_clustering
+
+        assert spectral_clustering(Graph.empty(0), 3).size == 0

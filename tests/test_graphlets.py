@@ -1,0 +1,149 @@
+"""Tests for exact graphlet counting, validated by brute-force enumeration."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.metrics import count_graphlets, graphlet_distance
+
+
+def brute_force(g_nx: nx.Graph) -> dict:
+    """Induced 3-/4-node subgraph counts by enumeration (slow, exact)."""
+    counts = dict(
+        wedges=0, triangles=0, p4=0, star=0, c4=0,
+        tailed_triangle=0, diamond=0, k4=0,
+    )
+    nodes = list(g_nx)
+    for trio in itertools.combinations(nodes, 3):
+        e = g_nx.subgraph(trio).number_of_edges()
+        if e == 2:
+            counts["wedges"] += 1
+        elif e == 3:
+            counts["triangles"] += 1
+    for quad in itertools.combinations(nodes, 4):
+        sub = g_nx.subgraph(quad)
+        e = sub.number_of_edges()
+        degs = sorted(d for __, d in sub.degree())
+        if e == 3 and degs == [1, 1, 2, 2]:
+            counts["p4"] += 1
+        elif e == 3 and degs == [1, 1, 1, 3]:
+            counts["star"] += 1
+        elif e == 4 and degs == [2, 2, 2, 2]:
+            counts["c4"] += 1
+        elif e == 4 and degs == [1, 2, 2, 3]:
+            counts["tailed_triangle"] += 1
+        elif e == 5:
+            counts["diamond"] += 1
+        elif e == 6:
+            counts["k4"] += 1
+    return counts
+
+
+def check_against_bruteforce(g_nx: nx.Graph) -> None:
+    g = Graph.from_edges(g_nx.number_of_nodes(), list(g_nx.edges()))
+    ours = count_graphlets(g)
+    expected = brute_force(g_nx)
+    for key, value in expected.items():
+        assert getattr(ours, key) == value, f"{key}: {getattr(ours, key)} != {value}"
+
+
+class TestExactCounts:
+    def test_triangle_graph(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        counts = count_graphlets(g)
+        assert counts.triangles == 1
+        assert counts.wedges == 0
+
+    def test_k4(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        counts = count_graphlets(Graph.from_edges(4, edges))
+        assert counts.k4 == 1
+        assert counts.diamond == 0
+        assert counts.c4 == 0
+        assert counts.triangles == 4
+
+    def test_four_cycle(self):
+        counts = count_graphlets(
+            Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        )
+        assert counts.c4 == 1
+        assert counts.triangles == 0
+        assert counts.p4 == 0  # induced: the cycle hides all paths
+
+    def test_diamond(self):
+        counts = count_graphlets(
+            Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        )
+        assert counts.diamond == 1
+        assert counts.k4 == 0
+        assert counts.c4 == 0
+
+    def test_star(self):
+        counts = count_graphlets(
+            Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        )
+        assert counts.star == 1
+        assert counts.p4 == 0
+
+    def test_path(self):
+        counts = count_graphlets(
+            Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        )
+        assert counts.p4 == 1
+        assert counts.wedges == 2
+
+    def test_empty(self):
+        counts = count_graphlets(Graph.empty(5))
+        assert counts.vector().sum() == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_match_bruteforce(self, seed):
+        g_nx = nx.gnp_random_graph(12, 0.35, seed=seed)
+        check_against_bruteforce(g_nx)
+
+    def test_dense_graph_matches_bruteforce(self):
+        check_against_bruteforce(nx.gnp_random_graph(10, 0.7, seed=42))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 11), st.integers(0, 10_000))
+    def test_property_matches_bruteforce(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g_nx = nx.gnp_random_graph(n, rng.uniform(0.1, 0.6), seed=seed)
+        check_against_bruteforce(g_nx)
+
+
+class TestGraphletDistance:
+    def test_identical_zero(self):
+        g_nx = nx.gnp_random_graph(20, 0.3, seed=0)
+        g = Graph.from_edges(20, list(g_nx.edges()))
+        assert graphlet_distance(g, g) == 0.0
+
+    def test_bounds(self):
+        tri = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        path = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        d = graphlet_distance(tri, path)
+        assert 0.0 < d <= 1.0
+
+    def test_orders_similarity(self):
+        """Two ER graphs are closer to each other than ER is to a clique-rich
+        graph (triangle composition differs)."""
+        er_a = Graph.from_edges(
+            30, list(nx.gnp_random_graph(30, 0.15, seed=1).edges())
+        )
+        er_b = Graph.from_edges(
+            30, list(nx.gnp_random_graph(30, 0.15, seed=2).edges())
+        )
+        cliquey = Graph.from_edges(
+            30, list(nx.connected_caveman_graph(6, 5).edges())
+        )
+        assert graphlet_distance(er_a, er_b) < graphlet_distance(er_a, cliquey)
+
+    def test_symmetric(self):
+        a = Graph.from_edges(10, list(nx.cycle_graph(10).edges()))
+        b = Graph.from_edges(10, list(nx.path_graph(10).edges()))
+        assert graphlet_distance(a, b) == pytest.approx(graphlet_distance(b, a))

@@ -1,0 +1,93 @@
+"""Tests for the spring layout and graph drawing (Fig. 1 reproduction)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.datasets import community_graph
+from repro.graphs import Graph
+from repro.viz import draw_graph, spring_layout
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSpringLayout:
+    def test_shape_and_bounds(self):
+        graph, __ = community_graph(50, 4, 5.0, seed=0)
+        pos = spring_layout(graph, iterations=30)
+        assert pos.shape == (50, 2)
+        assert pos.min() >= 0.0
+        assert pos.max() <= 1.0
+
+    def test_deterministic(self):
+        graph, __ = community_graph(30, 3, 4.0, seed=1)
+        np.testing.assert_allclose(
+            spring_layout(graph, seed=7), spring_layout(graph, seed=7)
+        )
+
+    def test_empty_and_singleton(self):
+        assert spring_layout(Graph.empty(0)).shape == (0, 2)
+        assert spring_layout(Graph.empty(1)).shape == (1, 2)
+
+    def test_connected_nodes_closer_than_average(self):
+        """Edges pull endpoints together: mean edge length < mean pair
+        distance."""
+        graph, __ = community_graph(60, 4, 6.0, mixing=0.05, seed=2)
+        pos = spring_layout(graph, iterations=150, seed=0)
+        edges = graph.edge_array()
+        edge_dist = np.linalg.norm(
+            pos[edges[:, 0]] - pos[edges[:, 1]], axis=1
+        ).mean()
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 60, size=(500, 2))
+        pair_dist = np.linalg.norm(pos[pairs[:, 0]] - pos[pairs[:, 1]], axis=1)
+        assert edge_dist < pair_dist.mean()
+
+    def test_communities_cluster_spatially(self):
+        """Within-community distances are smaller than cross-community."""
+        graph, labels = community_graph(80, 4, 8.0, mixing=0.05, seed=3)
+        pos = spring_layout(graph, iterations=200, seed=0)
+        within, across = [], []
+        rng = np.random.default_rng(1)
+        for __ in range(800):
+            i, j = rng.integers(0, 80, size=2)
+            if i == j:
+                continue
+            d = float(np.linalg.norm(pos[i] - pos[j]))
+            (within if labels[i] == labels[j] else across).append(d)
+        assert np.mean(within) < np.mean(across)
+
+
+class TestDrawGraph:
+    def test_valid_svg_with_nodes_and_edges(self):
+        graph, labels = community_graph(30, 3, 4.0, seed=0)
+        svg = draw_graph(graph, labels, title="demo")
+        root = ET.fromstring(svg)
+        circles = root.findall(f".//{SVG_NS}circle")
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(circles) == 30
+        assert len(lines) == graph.num_edges
+
+    def test_distinct_community_colors(self):
+        graph, labels = community_graph(30, 3, 4.0, seed=0)
+        root = ET.fromstring(draw_graph(graph, labels))
+        fills = {c.get("fill") for c in root.findall(f".//{SVG_NS}circle")}
+        assert len(fills) == np.unique(labels).size
+
+    def test_no_labels_single_color(self):
+        graph = Graph.from_edges(5, [(0, 1), (1, 2)])
+        root = ET.fromstring(draw_graph(graph))
+        fills = {c.get("fill") for c in root.findall(f".//{SVG_NS}circle")}
+        assert len(fills) == 1
+
+    def test_label_length_mismatch(self):
+        graph = Graph.from_edges(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            draw_graph(graph, np.zeros(3))
+
+    def test_writes_file(self, tmp_path):
+        graph, labels = community_graph(20, 2, 4.0, seed=1)
+        path = tmp_path / "g.svg"
+        draw_graph(graph, labels, path)
+        ET.fromstring(path.read_text())

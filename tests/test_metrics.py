@@ -1,0 +1,160 @@
+"""Tests for MMD metrics and the evaluation harness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.metrics import (
+    clustering_mmd,
+    degree_mmd,
+    emd_1d,
+    evaluate_community_preservation,
+    evaluate_generation,
+    gaussian_emd_kernel,
+    mmd_squared,
+)
+
+
+def nx_to_graph(g_nx: nx.Graph) -> Graph:
+    return Graph.from_edges(g_nx.number_of_nodes(), list(g_nx.edges()))
+
+
+def er(n=60, p=0.1, seed=0) -> Graph:
+    return nx_to_graph(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def ba(n=60, m=3, seed=0) -> Graph:
+    return nx_to_graph(nx.barabasi_albert_graph(n, m, seed=seed))
+
+
+class TestEMD:
+    def test_identical_zero(self):
+        h = np.array([0.2, 0.3, 0.5])
+        assert emd_1d(h, h) == 0.0
+
+    def test_known_shift(self):
+        # Moving all mass one bin over costs 1 bin width.
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert emd_1d(a, b) == pytest.approx(1.0)
+
+    def test_unequal_lengths_padded(self):
+        a = np.array([1.0])
+        b = np.array([0.0, 0.0, 1.0])
+        assert emd_1d(a, b) == pytest.approx(2.0)
+
+    def test_bin_width_scaling(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert emd_1d(a, b, bin_width=0.5) == pytest.approx(0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+    )
+    def test_property_symmetric_nonnegative(self, a, b):
+        a, b = np.array(a), np.array(b)
+        d_ab = emd_1d(a, b)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(emd_1d(b, a))
+
+
+class TestMMD:
+    def test_identical_samples_zero(self):
+        h = [np.array([0.5, 0.5])]
+        assert mmd_squared(h, h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_samples_positive(self):
+        a = [np.array([1.0, 0.0, 0.0])]
+        b = [np.array([0.0, 0.0, 1.0])]
+        assert mmd_squared(a, b) > 0.1
+
+    def test_kernel_bound(self):
+        k = gaussian_emd_kernel(sigma=1.0)
+        assert 0.0 < k(np.array([1.0, 0]), np.array([0, 1.0])) < 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mmd_squared([], [np.zeros(2)])
+
+    def test_degree_mmd_same_graph_zero(self):
+        g = er()
+        assert degree_mmd(g, g) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degree_mmd_er_vs_ba_positive(self):
+        """Heavy-tailed BA degrees differ measurably from ER."""
+        assert degree_mmd(er(seed=1), ba(seed=1)) > 0.001
+
+    def test_degree_mmd_discriminates(self):
+        """MMD(ER, ER') << MMD(ER, BA) — the metric orders models correctly."""
+        same_family = degree_mmd(er(seed=1), er(seed=2))
+        cross_family = degree_mmd(er(seed=1), ba(seed=2))
+        assert same_family < cross_family
+
+    def test_clustering_mmd_triangle_rich_vs_tree(self):
+        complete = nx_to_graph(nx.complete_graph(20))
+        tree = nx_to_graph(nx.random_labeled_tree(20, seed=1))
+        assert clustering_mmd(complete, tree) > 0.05
+
+    def test_mmd_accepts_lists(self):
+        gs = [er(seed=i) for i in range(3)]
+        value = degree_mmd(gs, gs)
+        assert value == pytest.approx(0.0, abs=1e-12)
+
+
+class TestEvaluation:
+    def test_generation_report_self_comparison(self):
+        g = er(seed=5)
+        report = evaluate_generation(g, g, cpl_sources=1000)
+        assert report.degree == pytest.approx(0.0, abs=1e-12)
+        assert report.clustering == pytest.approx(0.0, abs=1e-12)
+        assert report.cpl == pytest.approx(0.0, abs=1e-9)
+        assert report.gini == pytest.approx(0.0, abs=1e-12)
+        assert report.pwe == pytest.approx(0.0, abs=1e-12)
+
+    def test_generation_report_orders_models(self):
+        """An ER graph is closer to another ER than to a BA graph."""
+        observed = er(seed=10)
+        report_er = evaluate_generation(observed, er(seed=11), cpl_sources=1000)
+        report_ba = evaluate_generation(observed, ba(seed=11), cpl_sources=1000)
+        assert report_er.degree < report_ba.degree
+        assert report_er.gini < report_ba.gini
+
+    def test_generation_report_row_format(self):
+        g = er()
+        row = evaluate_generation(g, g).row("E-R")
+        assert row.startswith("E-R")
+        assert len(row.split()) == 6
+
+    def test_generation_requires_graphs(self):
+        with pytest.raises(ValueError):
+            evaluate_generation(er(), [])
+
+    def test_community_preservation_identical_graph(self):
+        g_nx = nx.planted_partition_graph(3, 20, 0.4, 0.02, seed=3)
+        g = nx_to_graph(g_nx)
+        report = evaluate_community_preservation(g, g)
+        assert report.nmi == pytest.approx(1.0)
+        assert report.ari == pytest.approx(1.0)
+
+    def test_community_preservation_random_rewire_lower(self):
+        g_nx = nx.planted_partition_graph(3, 20, 0.4, 0.02, seed=3)
+        g = nx_to_graph(g_nx)
+        random_g = er(n=60, p=0.15, seed=9)
+        report = evaluate_community_preservation(g, random_g)
+        assert report.nmi < 0.9
+        assert report.ari < 0.5
+
+    def test_community_preservation_size_mismatch(self):
+        with pytest.raises(ValueError, match="node counts"):
+            evaluate_community_preservation(er(n=60), er(n=50))
+
+    def test_community_report_row(self):
+        g_nx = nx.planted_partition_graph(3, 10, 0.5, 0.05, seed=0)
+        g = nx_to_graph(g_nx)
+        row = evaluate_community_preservation(g, g).row("CPGAN")
+        assert "NMI(e-2)=100.0" in row

@@ -1,0 +1,96 @@
+"""Tests for CPGAN model save/load (repro.core.persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN, CPGANConfig, load_model, save_model
+from repro.datasets import community_graph
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        input_dim=4, node_embedding_dim=8, hidden_dim=16, latent_dim=8,
+        pool_size=8, epochs=15, sample_size=80, seed=0,
+    )
+    defaults.update(kwargs)
+    return CPGANConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    graph, __ = community_graph(70, 4, 6.0, seed=0)
+    return CPGAN(tiny_config()).fit(graph), graph
+
+
+class TestRoundTrip:
+    def test_generation_identical_after_reload(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.generate(seed=3) == model.generate(seed=3)
+
+    def test_edge_probabilities_identical(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        pairs = graph.edge_array()[:20]
+        np.testing.assert_allclose(
+            restored.edge_probabilities(pairs), model.edge_probabilities(pairs)
+        )
+
+    def test_config_preserved(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config == model.config
+
+    def test_observed_graph_restored(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored._require_fitted() == graph
+
+    def test_variant_roundtrip(self, tmp_path):
+        graph, __ = community_graph(60, 3, 5.0, seed=1)
+        model = CPGAN(tiny_config(epochs=5, decoder_mode="concat")).fit(graph)
+        path = tmp_path / "variant.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.config.decoder_mode == "concat"
+        assert restored.generate(seed=0) == model.generate(seed=0)
+
+    def test_nov_variant_roundtrip(self, tmp_path):
+        graph, __ = community_graph(60, 3, 5.0, seed=1)
+        model = CPGAN(tiny_config(epochs=5, use_variational=False)).fit(graph)
+        path = tmp_path / "nov.npz"
+        save_model(model, path)
+        assert load_model(path).generate(seed=0) == model.generate(seed=0)
+
+
+class TestErrors:
+    def test_save_unfitted_raises(self, tmp_path):
+        from repro.baselines import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            save_model(CPGAN(tiny_config()), tmp_path / "x.npz")
+
+    def test_bad_version_rejected(self, trained, tmp_path):
+        import json
+
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["version"] = 999
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)

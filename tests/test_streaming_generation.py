@@ -1,0 +1,74 @@
+"""Tests for out-of-core streaming generation (paper §III-H future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN, CPGANConfig
+from repro.datasets import community_graph
+from repro.graphs import read_edge_list
+
+
+@pytest.fixture(scope="module")
+def trained():
+    graph, __ = community_graph(120, 5, 6.0, seed=0)
+    config = CPGANConfig(
+        input_dim=4, node_embedding_dim=8, hidden_dim=16, latent_dim=8,
+        pool_size=8, epochs=20, sample_size=120, seed=0,
+    )
+    return CPGAN(config).fit(graph), graph
+
+
+class TestStreamingGeneration:
+    def test_writes_readable_edge_list(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "streamed.txt"
+        written = model.generate_to_file(path, seed=0)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == written
+        assert written > 0
+
+    def test_edge_budget_respected(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "streamed.txt"
+        written = model.generate_to_file(path, seed=1)
+        assert written <= graph.num_edges
+        assert written >= 0.5 * graph.num_edges
+
+    def test_no_duplicate_edges(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "streamed.txt"
+        model.generate_to_file(path, seed=2)
+        lines = [
+            line for line in path.read_text().splitlines()
+            if not line.startswith("#")
+        ]
+        assert len(lines) == len(set(lines))
+
+    def test_larger_output_than_training_graph(self, trained, tmp_path):
+        model, graph = trained
+        path = tmp_path / "big.txt"
+        model.generate_to_file(path, seed=0, num_nodes=300)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 300
+
+    def test_flush_interval_small(self, trained, tmp_path):
+        """Tiny flush buffer exercises the incremental-write path."""
+        model, graph = trained
+        path = tmp_path / "flush.txt"
+        written = model.generate_to_file(path, seed=0, flush_every=7)
+        assert read_edge_list(path).num_edges == written
+
+    def test_streamed_similar_to_in_memory(self, trained, tmp_path):
+        """The streamed graph matches the quality of in-memory generation."""
+        from repro.metrics import evaluate_community_preservation
+
+        model, graph = trained
+        path = tmp_path / "streamed.txt"
+        model.generate_to_file(path, seed=0)
+        streamed = read_edge_list(path)
+        in_memory = model.generate(seed=0)
+        report_s = evaluate_community_preservation(graph, streamed)
+        report_m = evaluate_community_preservation(graph, in_memory)
+        assert report_s.nmi > 0.3
+        assert abs(report_s.nmi - report_m.nmi) < 0.35

@@ -1,0 +1,94 @@
+"""Tests for the Graph U-Nets top-k pooling extension of the ladder encoder."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import CPGAN, CPGANConfig, LadderEncoder
+from repro.datasets import community_graph
+from repro.graphs import spectral_embedding
+
+
+def topk_config(**kwargs):
+    defaults = dict(
+        input_dim=4, node_embedding_dim=4, hidden_dim=8, latent_dim=6,
+        pool_size=6, pooling="topk", epochs=10, sample_size=60, seed=0,
+    )
+    defaults.update(kwargs)
+    return CPGANConfig(**defaults)
+
+
+@pytest.fixture()
+def setup():
+    graph, __ = community_graph(40, 4, 5.0, seed=1)
+    features = np.concatenate(
+        [
+            spectral_embedding(graph, dim=4),
+            np.random.default_rng(2).normal(size=(40, 4)),
+        ],
+        axis=1,
+    )
+    return graph, features
+
+
+class TestTopKEncoder:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CPGANConfig(pooling="avgpool")
+
+    def test_output_shapes(self, setup):
+        graph, features = setup
+        enc = LadderEncoder(topk_config(), np.random.default_rng(0))
+        out = enc(LadderEncoder.prepare_adjacency(graph), features)
+        assert len(out.z_rec) == 2
+        # Depooled features live on the original node set.
+        assert out.z_rec[1].shape == (40, 8)
+        assert out.readout.shape == (2, 8)
+
+    def test_no_soft_assignments(self, setup):
+        """Top-k selection is a hard node choice — no assignment matrices,
+        hence no L_clus (the §II-B2 limitation)."""
+        graph, features = setup
+        enc = LadderEncoder(topk_config(), np.random.default_rng(0))
+        out = enc(LadderEncoder.prepare_adjacency(graph), features)
+        assert out.assignments == []
+
+    def test_depooled_rows_are_sparse_scatter(self, setup):
+        """Only the selected nodes carry coarse-level information."""
+        graph, features = setup
+        config = topk_config()
+        enc = LadderEncoder(config, np.random.default_rng(0))
+        out = enc(LadderEncoder.prepare_adjacency(graph), features)
+        nonzero_rows = int((np.abs(out.z_rec[1].data).sum(axis=1) > 0).sum())
+        assert nonzero_rows <= config.pool_size
+
+    def test_gradients_flow_through_gating(self, setup):
+        graph, features = setup
+        enc = LadderEncoder(topk_config(), np.random.default_rng(0))
+        x = nn.Tensor(features, requires_grad=True)
+        out = enc(LadderEncoder.prepare_adjacency(graph), x)
+        out.z_rec[1].sum().backward()
+        assert x.grad is not None
+        assert enc.pool_convs[0].weight.grad is not None
+
+    def test_dense_adjacency_path(self, setup):
+        graph, features = setup
+        enc = LadderEncoder(topk_config(), np.random.default_rng(0))
+        probs = nn.Tensor(np.random.default_rng(3).random((40, 40)))
+        sym = (probs + probs.T) * 0.5
+        out = enc(LadderEncoder.prepare_dense_adjacency(sym), features)
+        assert out.readout.shape == (2, 8)
+
+
+class TestTopKCPGAN:
+    def test_trains_and_generates(self):
+        graph, __ = community_graph(60, 3, 5.0, seed=2)
+        model = CPGAN(topk_config(epochs=8)).fit(graph)
+        out = model.generate(seed=0)
+        assert out.num_nodes == 60
+
+    def test_clustering_loss_is_zero(self):
+        """No assignments -> no clustering-consistency supervision."""
+        graph, __ = community_graph(60, 3, 5.0, seed=2)
+        model = CPGAN(topk_config(epochs=5)).fit(graph)
+        assert all(c == 0.0 for c in model.history.clustering)

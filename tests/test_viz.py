@@ -1,0 +1,88 @@
+"""Tests for the SVG chart writer (repro.viz)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import LineChart, Series
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("a", [1, 2], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [], [])
+
+
+class TestLineChart:
+    def make_chart(self) -> LineChart:
+        chart = LineChart(title="Demo", x_label="x", y_label="y")
+        chart.add(Series("one", [1, 2, 3], [1.0, 4.0, 9.0]))
+        chart.add(Series("two", [1, 2, 3], [2.0, 3.0, 4.0]))
+        return chart
+
+    def test_renders_valid_xml(self):
+        root = parse(self.make_chart().render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_contains_title_and_labels(self):
+        svg = self.make_chart().render()
+        assert "Demo" in svg
+        assert ">x<" in svg
+        assert ">y<" in svg
+
+    def test_one_polyline_per_series(self):
+        root = parse(self.make_chart().render())
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_markers_rendered(self):
+        root = parse(self.make_chart().render())
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 6  # 2 series × 3 points
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart(title="empty").render()
+
+    def test_default_palette_assigned(self):
+        chart = self.make_chart()
+        assert chart.series[0].color != chart.series[1].color
+
+    def test_log_scale_handles_small_values(self):
+        chart = LineChart(title="log", log_y=True)
+        chart.add(Series("s", [1, 2, 3], [1e-6, 1e-3, 1.0]))
+        root = parse(chart.render())
+        assert root is not None
+
+    def test_constant_series_does_not_crash(self):
+        chart = LineChart(title="flat")
+        chart.add(Series("s", [1, 2], [5.0, 5.0]))
+        parse(chart.render())
+
+    def test_title_escaped(self):
+        chart = LineChart(title="a < b & c")
+        chart.add(Series("s", [0, 1], [0.0, 1.0]))
+        parse(chart.render())  # would raise on unescaped '<' or '&'
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make_chart().save(path)
+        parse(path.read_text())
+
+    def test_points_inside_canvas(self):
+        chart = self.make_chart()
+        root = parse(chart.render())
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            cx, cy = float(circle.get("cx")), float(circle.get("cy"))
+            assert 0 <= cx <= chart.width
+            assert 0 <= cy <= chart.height

@@ -1,0 +1,85 @@
+"""Tests for the Watts–Strogatz baseline and the bench report generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import NotFittedError, WattsStrogatz
+from repro.bench.report import build_report, main as report_main
+from repro.graphs import Graph, average_clustering
+
+
+def ws_graph(n=100, k=6, p=0.1, seed=0) -> Graph:
+    g_nx = nx.connected_watts_strogatz_graph(n, k, p, seed=seed)
+    return Graph.from_edges(n, list(g_nx.edges()))
+
+
+class TestWattsStrogatz:
+    def test_fit_generate(self):
+        g = ws_graph()
+        out = WattsStrogatz().fit(g).generate(seed=0)
+        assert out.num_nodes == 100
+        assert out.num_edges > 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            WattsStrogatz().generate()
+
+    def test_deterministic(self):
+        g = ws_graph(seed=1)
+        model = WattsStrogatz().fit(g)
+        assert model.generate(seed=2) == model.generate(seed=2)
+
+    def test_k_estimated_from_mean_degree(self):
+        g = ws_graph(k=8, p=0.05, seed=2)
+        model = WattsStrogatz().fit(g)
+        assert model.k in (6, 8, 10)
+
+    def test_rewire_probability_tracks_clustering(self):
+        """A barely-rewired ring fits a low p; a random-ish graph a high p."""
+        ordered = ws_graph(k=6, p=0.01, seed=3)
+        chaotic = ws_graph(k=6, p=0.9, seed=3)
+        p_ordered = WattsStrogatz().fit(ordered).rewire_p
+        p_chaotic = WattsStrogatz().fit(chaotic).rewire_p
+        assert p_ordered < p_chaotic
+
+    def test_generated_clustering_close(self):
+        g = ws_graph(k=8, p=0.1, seed=4)
+        out = WattsStrogatz().fit(g).generate(seed=1)
+        assert abs(average_clustering(out) - average_clustering(g)) < 0.25
+
+    def test_edge_count_close(self):
+        g = ws_graph(k=6, p=0.1, seed=5)
+        out = WattsStrogatz().fit(g).generate(seed=1)
+        assert abs(out.num_edges - g.num_edges) / g.num_edges < 0.15
+
+    def test_tiny_graph(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        out = WattsStrogatz().fit(g).generate(seed=0)
+        assert out.num_nodes == 4
+
+
+class TestReport:
+    def test_collects_tables_in_order(self, tmp_path):
+        (tmp_path / "table3_community_preservation.txt").write_text("T3 rows")
+        (tmp_path / "fig5_sensitivity.txt").write_text("F5 rows")
+        (tmp_path / "custom_extra.txt").write_text("extra rows")
+        report = build_report(tmp_path)
+        assert report.index("Table III") < report.index("Figure 5")
+        assert "T3 rows" in report
+        assert "custom_extra" in report
+
+    def test_writes_output_file(self, tmp_path):
+        (tmp_path / "table9_memory.txt").write_text("mem rows")
+        out = tmp_path / "REPORT.md"
+        build_report(tmp_path, out)
+        assert "mem rows" in out.read_text()
+
+    def test_empty_results_dir(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "No result tables" in report
+
+    def test_cli_entry(self, tmp_path, capsys):
+        (tmp_path / "table6_ablation.txt").write_text("rows")
+        assert report_main([str(tmp_path)]) == 0
+        assert (tmp_path / "REPORT.md").exists()
