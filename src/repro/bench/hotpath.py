@@ -1,0 +1,196 @@
+"""Hot-path micro-benchmark: training epoch, generation, MMD evaluation.
+
+The paper's headline claim is *efficiency* (Tables 7-9: CPGAN trains and
+generates orders of magnitude faster than GraphRNN/NetGAN), so the three
+code paths that dominate wall-clock time are tracked as first-class,
+regression-gated quantities:
+
+* ``train_epoch`` — one full CPGAN generator + discriminator step on the
+  synthetic Citeseer stand-in (autograd forward/backward + optimizer step);
+* ``generation``  — prior-mode sampling of a graph of the fitted size
+  (decode + categorical/top-k assembly, §III-G);
+* ``mmd_eval``    — the GraphRNN-protocol degree + clustering MMD between
+  two graph samples (the ``Deg.``/``Clus.`` columns of Table IV).
+
+Timings are written to ``BENCH_hotpath.json`` at the repository root by
+``benchmarks/bench_hotpath.py``.  Because absolute seconds are machine
+dependent, every timing is also reported *normalized* by a NumPy matmul
+calibration constant measured on the same host immediately before the
+run; :mod:`repro.bench.regression` compares normalized values, so the
+committed baseline is meaningful across machines.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..core import CPGAN, CPGANConfig
+from ..datasets import load
+from ..graphs import Graph
+from ..metrics import clustering_mmd, degree_mmd
+
+__all__ = [
+    "HotpathSettings",
+    "QUICK_SETTINGS",
+    "DEFAULT_SETTINGS",
+    "DEFAULT_BASELINE_PATH",
+    "SCHEMA_VERSION",
+    "calibrate_matmul",
+    "run_hotpath_bench",
+]
+
+SCHEMA_VERSION = 1
+
+#: Committed baseline location (repository root).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
+
+
+@dataclass(frozen=True)
+class HotpathSettings:
+    """Knobs for one harness run."""
+
+    repeats: int = 5          # timed repetitions per hot path
+    scale: float = 0.06       # Citeseer stand-in fraction (~200 nodes)
+    mmd_graphs: int = 6       # graphs per side for the MMD timing
+    seed: int = 0
+
+
+DEFAULT_SETTINGS = HotpathSettings()
+
+#: Tiny configuration for smoke tests and the regression gate's self-test:
+#: one repeat, a ~66-node graph, three graphs per MMD side.
+QUICK_SETTINGS = HotpathSettings(repeats=1, scale=0.02, mmd_graphs=3)
+
+
+def calibrate_matmul(size: int = 192, repeats: int = 5) -> float:
+    """Seconds for one ``size``x``size`` float64 matmul (best of ``repeats``).
+
+    Taking the minimum gives the least-noisy estimate of raw machine speed;
+    dividing hot-path means by this constant yields a dimensionless number
+    comparable across hosts.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(size, size))
+    b = rng.normal(size=(size, size))
+    a @ b  # warm up BLAS thread pools / caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timeit(fn: Callable[[], None], repeats: int) -> tuple[float, float]:
+    values = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        values.append(time.perf_counter() - start)
+    arr = np.asarray(values)
+    return float(arr.mean()), float(arr.std())
+
+
+def _bench_config(settings: HotpathSettings) -> CPGANConfig:
+    return CPGANConfig(epochs=1, seed=settings.seed)
+
+
+def _fitted_model(graph: Graph, settings: HotpathSettings) -> CPGAN:
+    """One-epoch fit: initialises features, embedding and ground truth."""
+    model = CPGAN(_bench_config(settings))
+    model.fit(graph)
+    return model
+
+
+def _time_train_epoch(
+    graph: Graph, settings: HotpathSettings
+) -> tuple[float, float]:
+    model = _fitted_model(graph, settings)
+    cfg = model.config
+    rng = np.random.default_rng(cfg.seed + 1)
+    gen_params = [model.node_embedding]
+    gen_params += list(model.encoder.parameters())
+    gen_params += list(model.vi.parameters())
+    gen_params += list(model.decoder.parameters())
+    opt_gen = nn.Adam(gen_params, lr=cfg.learning_rate)
+    opt_disc = nn.Adam(model.discriminator.parameters(), lr=cfg.learning_rate)
+
+    def one_epoch() -> None:
+        nodes, sub = model._training_view(graph, rng)
+        model._train_epoch(sub, nodes, opt_gen, opt_disc, rng)
+
+    one_epoch()  # warm up (first call pays sparse-structure setup costs)
+    return _timeit(one_epoch, settings.repeats)
+
+
+def _time_generation(
+    graph: Graph, settings: HotpathSettings
+) -> tuple[float, float]:
+    model = _fitted_model(graph, settings)
+    model.config.latent_source = "prior"
+    counter = {"seed": 0}
+
+    def generate() -> None:
+        counter["seed"] += 1
+        model.generate(seed=counter["seed"])
+
+    generate()  # warm up
+    return _timeit(generate, settings.repeats)
+
+
+def _time_mmd_eval(settings: HotpathSettings) -> tuple[float, float]:
+    observed = [
+        load("citeseer", scale=settings.scale, seed=s).graph
+        for s in range(settings.mmd_graphs)
+    ]
+    generated = [
+        load("citeseer", scale=settings.scale, seed=100 + s).graph
+        for s in range(settings.mmd_graphs)
+    ]
+
+    def evaluate() -> None:
+        degree_mmd(observed, generated)
+        clustering_mmd(observed, generated)
+
+    evaluate()  # warm up
+    return _timeit(evaluate, settings.repeats)
+
+
+def run_hotpath_bench(settings: HotpathSettings | None = None) -> dict:
+    """Run all three hot paths and return the JSON-ready result document."""
+    settings = settings or DEFAULT_SETTINGS
+    calibration = calibrate_matmul()
+    graph = load("citeseer", scale=settings.scale, seed=settings.seed).graph
+
+    hot_paths: dict[str, dict[str, float]] = {}
+    timers: dict[str, Callable[[], tuple[float, float]]] = {
+        "train_epoch": lambda: _time_train_epoch(graph, settings),
+        "generation": lambda: _time_generation(graph, settings),
+        "mmd_eval": lambda: _time_mmd_eval(settings),
+    }
+    for name, timer in timers.items():
+        mean_s, std_s = timer()
+        hot_paths[name] = {
+            "mean_s": mean_s,
+            "std_s": std_s,
+            "normalized": mean_s / calibration,
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "settings": asdict(settings),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "calibration_matmul_s": calibration,
+        "hot_paths": hot_paths,
+    }

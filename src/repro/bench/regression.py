@@ -1,0 +1,119 @@
+"""Perf-regression gate over the committed ``BENCH_hotpath.json`` baseline.
+
+A fresh harness run (:func:`repro.bench.hotpath.run_hotpath_bench`) is
+compared hot path by hot path against the committed baseline.  Both sides
+are *normalized* by their own host's matmul calibration constant, so the
+comparison is a ratio of machine-independent numbers: a ratio of 1.0 means
+"same speed relative to raw hardware", and a ratio above ``1 + tolerance``
+flags a regression.
+
+The tolerance is configurable per call (and via ``--tolerance`` on
+``benchmarks/bench_hotpath.py``); the default 0.5 absorbs scheduler noise
+on loaded CI hosts while still catching the 2x-and-worse slowdowns that
+matter for the paper's efficiency claims.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .hotpath import (
+    DEFAULT_BASELINE_PATH,
+    HotpathSettings,
+    SCHEMA_VERSION,
+    run_hotpath_bench,
+)
+
+__all__ = [
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "load_baseline",
+    "compare_runs",
+    "check_regression",
+    "format_report",
+]
+
+DEFAULT_TOLERANCE = 0.5
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One hot path's baseline-vs-fresh verdict."""
+
+    name: str
+    baseline_normalized: float
+    fresh_normalized: float
+    ratio: float          # fresh / baseline; > 1 means slower than baseline
+    regressed: bool
+
+
+def load_baseline(path: str | Path | None = None) -> dict:
+    """Read and validate a committed harness result document."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    document = json.loads(path.read_text())
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {schema!r}, expected {SCHEMA_VERSION}"
+        )
+    if "hot_paths" not in document:
+        raise ValueError(f"baseline {path} has no 'hot_paths' section")
+    return document
+
+
+def compare_runs(
+    baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Comparison]:
+    """Compare two harness documents hot path by hot path."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    comparisons = []
+    for name, base_entry in sorted(baseline["hot_paths"].items()):
+        fresh_entry = fresh["hot_paths"].get(name)
+        if fresh_entry is None:
+            raise KeyError(f"fresh run is missing hot path {name!r}")
+        base_norm = float(base_entry["normalized"])
+        fresh_norm = float(fresh_entry["normalized"])
+        ratio = fresh_norm / base_norm if base_norm > 0 else float("inf")
+        comparisons.append(
+            Comparison(
+                name=name,
+                baseline_normalized=base_norm,
+                fresh_normalized=fresh_norm,
+                ratio=ratio,
+                regressed=ratio > 1.0 + tolerance,
+            )
+        )
+    return comparisons
+
+
+def check_regression(
+    baseline_path: str | Path | None = None,
+    settings: HotpathSettings | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[bool, list[Comparison]]:
+    """Run the harness fresh and gate it against the committed baseline.
+
+    Returns ``(ok, comparisons)`` where ``ok`` is False when any tracked
+    hot path is slower than ``(1 + tolerance) x`` its baseline.
+    """
+    baseline = load_baseline(baseline_path)
+    fresh = run_hotpath_bench(settings)
+    comparisons = compare_runs(baseline, fresh, tolerance)
+    return not any(c.regressed for c in comparisons), comparisons
+
+
+def format_report(comparisons: list[Comparison]) -> str:
+    """Human-readable table of a regression check."""
+    lines = [
+        f"{'hot path':<14} {'baseline':>10} {'fresh':>10} {'ratio':>7}  verdict"
+    ]
+    for c in comparisons:
+        verdict = "REGRESSED" if c.regressed else "ok"
+        lines.append(
+            f"{c.name:<14} {c.baseline_normalized:>10.1f} "
+            f"{c.fresh_normalized:>10.1f} {c.ratio:>7.2f}  {verdict}"
+        )
+    return "\n".join(lines)

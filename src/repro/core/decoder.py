@@ -48,7 +48,13 @@ class GraphDecoder(nn.Module):
             for z in latents:
                 h = self.gru(h, z)
             return h
-        return self.merge(nn.concat(latents, axis=1)).relu()
+        # Fused affine + ReLU: single autograd node for the merge.
+        return nn.linear(
+            nn.concat(latents, axis=1),
+            self.merge.weight,
+            self.merge.bias,
+            activation="relu",
+        )
 
     def edge_logits(self, h: nn.Tensor) -> nn.Tensor:
         """Pairwise logits g_θ(h_i)ᵀ g_θ(h_j) (Eq. 14, before the sigmoid)."""

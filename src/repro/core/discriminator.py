@@ -25,7 +25,12 @@ class Discriminator(nn.Module):
         )
 
     def forward(self, readout: nn.Tensor) -> nn.Tensor:
-        """Return the (scalar) logit for one graph readout (k, d)."""
+        """Return the (scalar) logit for one graph readout (k, d).
+
+        The MLP layers run as fused affine+activation autograd nodes
+        (:func:`repro.nn.linear`), so the whole head records three nodes:
+        reshape, hidden layer, output layer.
+        """
         flat = readout.reshape(1, -1)
         return self.mlp(flat).reshape(())
 

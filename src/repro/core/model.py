@@ -182,15 +182,15 @@ class CPGAN(GraphGenerator):
         out = self.encoder(adj_norm, features)
         latents, kl, __ = self._latent_pass(out, rng)
         logits = self.decoder.edge_logits(self.decoder.node_features(latents))
-        recon = nn.binary_cross_entropy_with_logits(logits, target, weight)
+        recon = nn.bce_with_logits(logits, target, weight)
         clus = self._clustering_loss(out, nodes)
         probs = logits.sigmoid()
         fake_adj = LadderEncoder.prepare_dense_adjacency(probs)
         fake_out = self.encoder(fake_adj, features)
-        adv = nn.binary_cross_entropy_with_logits(
+        adv = nn.bce_with_logits(
             self.discriminator(fake_out.readout).reshape(1), np.ones(1)
         )
-        mapping = nn.mse(fake_out.readout, out.readout.detach())
+        mapping = nn.l2_diff(fake_out.readout, out.readout.detach())
 
         loss = recon + cfg.gamma_adv * adv + cfg.delta_mapping * mapping
         if kl is not None:
@@ -214,11 +214,11 @@ class CPGAN(GraphGenerator):
             for p in (rec_probs, prior_probs):
                 dense = LadderEncoder.prepare_dense_adjacency(nn.Tensor(p))
                 fake_readouts.append(self.encoder(dense, features).readout.data)
-        d_loss = nn.binary_cross_entropy_with_logits(
+        d_loss = nn.bce_with_logits(
             self.discriminator(nn.Tensor(real_readout)).reshape(1), np.ones(1)
         )
         for fake in fake_readouts:
-            d_loss = d_loss + nn.binary_cross_entropy_with_logits(
+            d_loss = d_loss + nn.bce_with_logits(
                 self.discriminator(nn.Tensor(fake)).reshape(1), np.zeros(1)
             )
         opt_disc.zero_grad()

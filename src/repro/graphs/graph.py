@@ -97,7 +97,11 @@ class Graph:
         return self._adj.indices[self._adj.indptr[node] : self._adj.indptr[node + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.neighbors(u)
+        # Indices are sorted per row (sort_indices in __init__), so a
+        # binary search beats the O(deg) linear scan of ``v in neighbors``.
+        neighbors = self.neighbors(u)
+        i = int(np.searchsorted(neighbors, v))
+        return i < neighbors.size and int(neighbors[i]) == v
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate each undirected edge once as (u, v) with u < v."""

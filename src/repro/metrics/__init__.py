@@ -13,6 +13,7 @@ from .mmd import (
     emd_1d,
     gaussian_emd_kernel,
     mmd_squared,
+    mmd_squared_reference,
 )
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "emd_1d",
     "gaussian_emd_kernel",
     "mmd_squared",
+    "mmd_squared_reference",
     "GraphletCounts",
     "count_graphlets",
     "graphlet_distance",

@@ -5,10 +5,15 @@ See DESIGN.md §2 for the substitution rationale.
 """
 
 from .functional import (
+    bce_with_logits,
+    bias_act,
     binary_cross_entropy,
     binary_cross_entropy_with_logits,
     cross_entropy_rows,
+    dual_linear,
     kl_standard_normal,
+    l2_diff,
+    linear,
     log_sigmoid,
     mse,
     spmm,
@@ -40,6 +45,11 @@ __all__ = [
     "Adam",
     "StepDecay",
     "spmm",
+    "linear",
+    "dual_linear",
+    "bias_act",
+    "bce_with_logits",
+    "l2_diff",
     "binary_cross_entropy",
     "binary_cross_entropy_with_logits",
     "cross_entropy_rows",

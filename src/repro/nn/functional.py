@@ -5,6 +5,14 @@ sparse-aware operations the CPGAN paper needs: numerically-stable binary
 cross-entropy (Eq. 14/16), the KL divergence against the standard normal
 prior (Eq. 19), and ``spmm`` — sparse-matrix × dense-tensor products so that
 graph convolution costs O(m + n) as the paper claims (§III-C1).
+
+The ``linear`` / ``dual_linear`` / ``bias_act`` / ``bce_with_logits`` /
+``l2_diff`` family are *fused* kernels: each records a single autograd node
+with a closed-form backward where the naive Tensor-method composition would
+record 4–6 nodes (one Python closure and at least one temporary array per
+node).  The training hot paths (``nn.MLP``, ``nn.GRUCell``, ``GraphConv``
+and the CPGAN loss terms) all route through them; gradcheck coverage lives
+in ``tests/test_nn_fused.py``.
 """
 
 from __future__ import annotations
@@ -12,10 +20,15 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, _stable_sigmoid, _unbroadcast, as_tensor
 
 __all__ = [
     "spmm",
+    "linear",
+    "dual_linear",
+    "bias_act",
+    "bce_with_logits",
+    "l2_diff",
     "binary_cross_entropy",
     "binary_cross_entropy_with_logits",
     "kl_standard_normal",
@@ -25,6 +38,197 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+# ----------------------------------------------------------------------
+# fused kernels
+# ----------------------------------------------------------------------
+
+_ACT_FORWARD = {
+    "identity": lambda z: z,
+    "relu": lambda z: np.maximum(z, 0.0),
+    "tanh": np.tanh,
+    "sigmoid": _stable_sigmoid,
+}
+
+
+def _act_grad(activation: str, out_data: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    """d(activation)/dz expressed through the cached *output* of the op."""
+    if activation == "identity":
+        return grad
+    if activation == "relu":
+        return grad * (out_data > 0.0)
+    if activation == "tanh":
+        return grad * (1.0 - out_data * out_data)
+    return grad * out_data * (1.0 - out_data)  # sigmoid
+
+
+def _check_activation(activation: str) -> None:
+    if activation not in _ACT_FORWARD:
+        raise ValueError(
+            f"unsupported activation {activation!r}; "
+            f"choose from {sorted(_ACT_FORWARD)}"
+        )
+
+
+def linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    activation: str = "identity",
+) -> Tensor:
+    """Fused affine + activation: ``act(x @ W + b)`` as one autograd node.
+
+    ``x`` is expected 2-D (rows = samples); the bias broadcasts over rows.
+    Collapses the matmul / add / activation chain (three nodes, three
+    closures) into a single node with a closed-form backward.
+    """
+    _check_activation(activation)
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    z = x.data @ weight.data
+    if bias is not None:
+        z += bias.data  # in-place on the fresh matmul output
+    out_data = _ACT_FORWARD[activation](z)
+    prev = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, _prev=prev)
+    if out._prev:
+
+        def backward() -> None:
+            dz = _act_grad(activation, out.data, out.grad)
+            if x.requires_grad:
+                x._accumulate(dz @ weight.data.swapaxes(-1, -2))
+            if weight.requires_grad:
+                weight._accumulate(
+                    _unbroadcast(x.data.swapaxes(-1, -2) @ dz, weight.shape)
+                )
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(_unbroadcast(dz, bias.shape))
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
+
+
+def dual_linear(
+    x: Tensor,
+    wx: Tensor,
+    h: Tensor,
+    wh: Tensor,
+    bias: Tensor,
+    activation: str = "identity",
+) -> Tensor:
+    """Fused two-input affine: ``act(x @ Wx + h @ Wh + b)`` as one node.
+
+    This is the GRU gate shape (Eq. 13 uses two of these per step); the
+    naive composition records five nodes and five temporaries.
+    """
+    _check_activation(activation)
+    x, wx, h, wh, bias = (as_tensor(t) for t in (x, wx, h, wh, bias))
+    z = x.data @ wx.data
+    z += h.data @ wh.data
+    z += bias.data
+    out_data = _ACT_FORWARD[activation](z)
+    out = Tensor(out_data, _prev=(x, wx, h, wh, bias))
+    if out._prev:
+
+        def backward() -> None:
+            dz = _act_grad(activation, out.data, out.grad)
+            if x.requires_grad:
+                x._accumulate(dz @ wx.data.swapaxes(-1, -2))
+            if wx.requires_grad:
+                wx._accumulate(
+                    _unbroadcast(x.data.swapaxes(-1, -2) @ dz, wx.shape)
+                )
+            if h.requires_grad:
+                h._accumulate(dz @ wh.data.swapaxes(-1, -2))
+            if wh.requires_grad:
+                wh._accumulate(
+                    _unbroadcast(h.data.swapaxes(-1, -2) @ dz, wh.shape)
+                )
+            if bias.requires_grad:
+                bias._accumulate(_unbroadcast(dz, bias.shape))
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
+
+
+def bias_act(
+    x: Tensor, bias: Tensor | None, activation: str = "identity"
+) -> Tensor:
+    """Fused ``act(x + b)`` — the GraphConv epilogue after propagation."""
+    _check_activation(activation)
+    x = as_tensor(x)
+    if bias is None and activation == "identity":
+        return x
+    z = x.data if bias is None else x.data + bias.data
+    out_data = _ACT_FORWARD[activation](z)
+    prev = (x,) if bias is None else (x, bias)
+    out = Tensor(out_data, _prev=prev)
+    if out._prev:
+
+        def backward() -> None:
+            dz = _act_grad(activation, out.data, out.grad)
+            if x.requires_grad:
+                x._accumulate(_unbroadcast(dz, x.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(_unbroadcast(dz, bias.shape))
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
+
+
+def bce_with_logits(logits: Tensor, target, weight=None) -> Tensor:
+    """Fused mean BCE from logits: one node, closed-form backward.
+
+    Forward is the stable ``max(x,0) - x·t + log1p(e^{-|x|})`` (optionally
+    elementwise-weighted) averaged over all elements; backward is the
+    closed form ``w · (σ(x) - t) / N`` — no intermediate graph at all.
+    """
+    logits = as_tensor(logits)
+    target = np.asarray(target, dtype=float)
+    z = logits.data
+    elems = np.maximum(z, 0.0) - z * target + np.log1p(np.exp(-np.abs(z)))
+    if weight is not None:
+        weight = np.asarray(weight, dtype=float)
+        elems = elems * weight
+    out = Tensor(np.asarray(elems.mean()), _prev=(logits,))
+    if out._prev:
+        count = elems.size
+
+        def backward() -> None:
+            if logits.requires_grad:
+                dz = _stable_sigmoid(z) - target
+                if weight is not None:
+                    dz = dz * weight
+                dz *= float(out.grad) / count
+                logits._accumulate(_unbroadcast(dz, logits.shape))
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
+
+
+def l2_diff(a: Tensor, b) -> Tensor:
+    """Fused mean squared difference ``mean((a - b)²)`` as one node."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    diff = a.data - b.data
+    out = Tensor(np.asarray((diff * diff).mean()), _prev=(a, b))
+    if out._prev:
+        count = diff.size
+
+        def backward() -> None:
+            scaled = diff * (2.0 * float(out.grad) / count)
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(scaled, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(-scaled, b.shape))
+
+        out._backward = backward
+        out.requires_grad = True
+    return out
 
 
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
@@ -79,13 +283,12 @@ def binary_cross_entropy(p: Tensor, target: np.ndarray, weight=None) -> Tensor:
 def binary_cross_entropy_with_logits(
     logits: Tensor, target: np.ndarray, weight=None
 ) -> Tensor:
-    """Mean BCE computed from logits, stable for large magnitudes."""
-    target = np.asarray(target, dtype=float)
-    # max(x,0) - x*t + log(1+exp(-|x|))
-    loss = logits.relu() - logits * target + _stable_log1p_exp_neg_abs(logits)
-    if weight is not None:
-        loss = loss * weight
-    return loss.mean()
+    """Mean BCE computed from logits, stable for large magnitudes.
+
+    Alias of the fused :func:`bce_with_logits` kernel (kept for the
+    historical name used across the baselines).
+    """
+    return bce_with_logits(logits, target, weight)
 
 
 def kl_standard_normal(mu: Tensor, log_var: Tensor) -> Tensor:
@@ -98,9 +301,11 @@ def kl_standard_normal(mu: Tensor, log_var: Tensor) -> Tensor:
 
 
 def mse(a: Tensor, b) -> Tensor:
-    """Mean squared error between a tensor and a tensor/array."""
-    diff = a - as_tensor(b)
-    return (diff * diff).mean()
+    """Mean squared error between a tensor and a tensor/array.
+
+    Alias of the fused :func:`l2_diff` kernel.
+    """
+    return l2_diff(a, b)
 
 
 def cross_entropy_rows(probabilities: Tensor, labels: np.ndarray) -> Tensor:

@@ -17,7 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from . import init
-from .functional import spmm
+from .functional import bias_act, linear, spmm
 from .layers import Module, Parameter
 from .tensor import Tensor
 
@@ -74,19 +74,15 @@ class GraphConv(Module):
         self._activation = activation
 
     def forward(self, x: Tensor, adj_norm) -> Tensor:
+        projected = linear(x, self.weight)  # one fused node for X @ W
         if sp.issparse(adj_norm):
-            propagated = spmm(adj_norm, x @ self.weight)
+            propagated = spmm(adj_norm, projected)
         else:
             if isinstance(adj_norm, np.ndarray):
                 adj_norm = Tensor(adj_norm)
-            propagated = adj_norm @ (x @ self.weight)
-        if self.bias is not None:
-            propagated = propagated + self.bias
-        if self._activation == "relu":
-            return propagated.relu()
-        if self._activation == "tanh":
-            return propagated.tanh()
-        return propagated
+            propagated = adj_norm @ projected
+        # Fused bias + activation epilogue: one node instead of two.
+        return bias_act(propagated, self.bias, self._activation)
 
 
 class DenseGraphConv(GraphConv):
@@ -98,14 +94,8 @@ class DenseGraphConv(GraphConv):
     """
 
     def forward(self, x: Tensor, adj: Tensor) -> Tensor:
-        propagated = adj @ (x @ self.weight)
-        if self.bias is not None:
-            propagated = propagated + self.bias
-        if self._activation == "relu":
-            return propagated.relu()
-        if self._activation == "tanh":
-            return propagated.tanh()
-        return propagated
+        propagated = adj @ linear(x, self.weight)
+        return bias_act(propagated, self.bias, self._activation)
 
 
 class PairNorm(Module):

@@ -12,6 +12,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from . import init
+from .functional import dual_linear, linear
 from .tensor import Tensor, concat
 
 __all__ = ["Module", "Parameter", "Linear", "MLP", "GRUCell", "Sequential"]
@@ -97,11 +98,8 @@ class Linear(Module):
         )
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+    def forward(self, x: Tensor, activation: str = "identity") -> Tensor:
+        return linear(x, self.weight, self.bias, activation)
 
 
 _ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
@@ -128,16 +126,19 @@ class MLP(Module):
     ) -> None:
         if len(sizes) < 2:
             raise ValueError("MLP needs at least input and output sizes")
+        if activation not in _ACTIVATIONS or final_activation not in _ACTIVATIONS:
+            raise KeyError(f"unknown activation: {activation}/{final_activation}")
         self.layers = [
             Linear(a, b, rng) for a, b in zip(sizes[:-1], sizes[1:])
         ]
-        self._activation = _ACTIVATIONS[activation]
-        self._final_activation = _ACTIVATIONS[final_activation]
+        self._activation = activation
+        self._final_activation = final_activation
 
     def forward(self, x: Tensor) -> Tensor:
+        # Each hidden layer is one fused affine+activation autograd node.
         for layer in self.layers[:-1]:
-            x = self._activation(layer(x))
-        return self._final_activation(self.layers[-1](x))
+            x = layer(x, self._activation)
+        return self.layers[-1](x, self._final_activation)
 
 
 class Sequential(Module):
@@ -171,8 +172,10 @@ class GRUCell(Module):
         self.b_cand = Parameter(init.zeros((hidden_size,)))
 
     def forward(self, h: Tensor, x: Tensor) -> Tensor:
-        gates = (x @ self.w_ih + h @ self.w_hh + self.b_gates).sigmoid()
+        gates = dual_linear(x, self.w_ih, h, self.w_hh, self.b_gates, "sigmoid")
         reset = gates[:, : self.hidden_size]
         update = gates[:, self.hidden_size :]
-        candidate = (x @ self.w_in + (reset * h) @ self.w_hn + self.b_cand).tanh()
+        candidate = dual_linear(
+            x, self.w_in, reset * h, self.w_hn, self.b_cand, "tanh"
+        )
         return update * h + (1.0 - update) * candidate

@@ -45,17 +45,19 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for p, v, buf in zip(self.parameters, self._velocity, self._scratch):
             if p.grad is None:
                 continue
             if self.momentum:
-                v *= self.momentum
-                v += p.grad
-                p.data -= self.lr * v
+                np.multiply(v, self.momentum, out=v)
+                np.add(v, p.grad, out=v)
+                np.multiply(v, self.lr, out=buf)
             else:
-                p.data -= self.lr * p.grad
+                np.multiply(p.grad, self.lr, out=buf)
+            np.subtract(p.data, buf, out=p.data)
 
 
 class Adam(Optimizer):
@@ -75,30 +77,53 @@ class Adam(Optimizer):
         self.clip_norm = clip_norm
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter so the whole update runs with
+        # ``out=`` ufuncs: zero per-step allocations after construction.
+        # Every arithmetic expression keeps the exact operation order of
+        # the original allocating implementation, so loss traces stay
+        # bit-identical to it.
+        self._s1 = [np.empty_like(p.data) for p in self.parameters]
+        self._s2 = [np.empty_like(p.data) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         if self.clip_norm is not None:
             total = 0.0
-            for p in self.parameters:
+            for p, buf in zip(self.parameters, self._s1):
                 if p.grad is not None:
-                    total += float((p.grad * p.grad).sum())
+                    np.multiply(p.grad, p.grad, out=buf)
+                    total += float(buf.sum())
             norm = np.sqrt(total)
             scale = self.clip_norm / norm if norm > self.clip_norm else 1.0
         else:
             scale = 1.0
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for p, m, v, s1, s2 in zip(
+            self.parameters, self._m, self._v, self._s1, self._s2
+        ):
             if p.grad is None:
                 continue
-            grad = p.grad * scale
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if scale != 1.0:
+                grad = np.multiply(p.grad, scale, out=s1)
+            else:
+                grad = p.grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            np.add(m, s2, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            np.multiply(s2, grad, out=s2)
+            np.add(v, s2, out=v)
+            # denom = sqrt(v / bc2) + eps, then p -= (lr * (m / bc1)) / denom
+            np.divide(v, bc2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(m, bc1, out=s1)  # grad (possibly aliasing s1) is spent
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(s1, s2, out=s1)
+            np.subtract(p.data, s1, out=p.data)
 
 
 class StepDecay:

@@ -47,6 +47,16 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw ndarray (shared with fused ops)."""
+    clipped = np.clip(x, -500, 500)
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    )
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting."""
     if grad.shape == shape:
@@ -75,7 +85,15 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_prev",
+        "_grad_shared",
+        "name",
+    )
 
     def __init__(
         self,
@@ -92,6 +110,7 @@ class Tensor:
         self.data: np.ndarray = arr
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
+        self._grad_shared = False
         self._backward: Callable[[], None] | None = None
         keep_graph = _GRAD_ENABLED and (
             self.requires_grad or any(p.requires_grad for p in _prev)
@@ -145,9 +164,19 @@ class Tensor:
         )
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Single-consumer case (the overwhelming majority of nodes): adopt
+        # the incoming buffer directly instead of allocating zeros and
+        # adding into them.  The adopted array may alias (or view) the
+        # producer's grad, so it is marked shared and never mutated in
+        # place; a second consumer forces a private sum.
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            self.grad = grad
+            self._grad_shared = True
+        elif self._grad_shared:
+            self.grad = self.grad + grad
+            self._grad_shared = False
+        else:
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Back-propagate from this tensor through the recorded graph.
@@ -178,9 +207,17 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward()
+                # An interior node's grad is fully consumed once its
+                # backward ran (reverse-topological order guarantees every
+                # consumer already contributed); releasing it here halves
+                # peak memory for deep ladders.  Leaf tensors have no
+                # ``_backward`` and keep their grads for the optimizer.
+                node.grad = None
+                node._grad_shared = False
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._grad_shared = False
 
     # ------------------------------------------------------------------
     # elementwise arithmetic
@@ -386,7 +423,19 @@ class Tensor:
         return out
 
     def sqrt(self) -> "Tensor":
-        return self.pow(0.5)
+        root = np.sqrt(self.data)
+        out = Tensor(root, _prev=(self,))
+        if out._prev:
+
+            def backward() -> None:
+                if self.requires_grad:
+                    # d/dx sqrt(x) = 1 / (2 sqrt(x)), reusing the cached
+                    # forward output (same pattern as ``exp``).
+                    self._accumulate(out.grad * (0.5 / root))
+
+            out._backward = backward
+            out.requires_grad = True
+        return out
 
     def relu(self) -> "Tensor":
         out = Tensor(np.maximum(self.data, 0.0), _prev=(self,))
@@ -401,13 +450,7 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        s = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-            np.exp(np.clip(self.data, -500, 500))
-            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
-        )
+        s = _stable_sigmoid(self.data)
         out = Tensor(s, _prev=(self,))
         if out._prev:
 

@@ -1,0 +1,101 @@
+"""Smoke test for the hot-path benchmark harness and its regression gate.
+
+Runs the harness in quick mode (1 repeat, tiny graph) and exercises the
+tolerance-comparison path both ways: an identical baseline passes, a
+tampered (artificially fast) baseline is flagged as a regression.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    QUICK_SETTINGS,
+    SCHEMA_VERSION,
+    check_regression,
+    compare_runs,
+    format_report,
+    load_baseline,
+    run_hotpath_bench,
+)
+
+HOT_PATHS = {"train_epoch", "generation", "mmd_eval"}
+
+
+@pytest.fixture(scope="module")
+def quick_run():
+    return run_hotpath_bench(QUICK_SETTINGS)
+
+
+def test_quick_run_structure(quick_run):
+    assert quick_run["schema"] == SCHEMA_VERSION
+    assert set(quick_run["hot_paths"]) == HOT_PATHS
+    assert quick_run["calibration_matmul_s"] > 0
+    for entry in quick_run["hot_paths"].values():
+        assert entry["mean_s"] > 0
+        assert entry["normalized"] > 0
+        assert entry["std_s"] >= 0
+
+
+def test_roundtrip_baseline_passes(quick_run, tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(quick_run))
+    baseline = load_baseline(path)
+    comparisons = compare_runs(baseline, quick_run, tolerance=0.0)
+    assert {c.name for c in comparisons} == HOT_PATHS
+    # A run compared against itself has ratio exactly 1.0 on every path.
+    assert all(c.ratio == 1.0 for c in comparisons)
+    assert not any(c.regressed for c in comparisons)
+
+
+def test_tampered_baseline_flags_regression(quick_run):
+    fast = copy.deepcopy(quick_run)
+    for entry in fast["hot_paths"].values():
+        entry["normalized"] /= 10.0
+    comparisons = compare_runs(fast, quick_run, tolerance=0.5)
+    assert all(c.regressed for c in comparisons)
+    report = format_report(comparisons)
+    assert "REGRESSED" in report
+
+
+def test_within_tolerance_is_not_flagged(quick_run):
+    slightly_fast = copy.deepcopy(quick_run)
+    for entry in slightly_fast["hot_paths"].values():
+        entry["normalized"] /= 1.2
+    comparisons = compare_runs(slightly_fast, quick_run, tolerance=0.5)
+    assert not any(c.regressed for c in comparisons)
+
+
+def test_missing_hot_path_raises(quick_run):
+    pruned = copy.deepcopy(quick_run)
+    del pruned["hot_paths"]["mmd_eval"]
+    with pytest.raises(KeyError):
+        compare_runs(quick_run, pruned, tolerance=0.5)
+
+
+def test_negative_tolerance_rejected(quick_run):
+    with pytest.raises(ValueError):
+        compare_runs(quick_run, quick_run, tolerance=-0.1)
+
+
+def test_load_baseline_validates_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 999, "hot_paths": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+    missing = tmp_path / "missing.json"
+    missing.write_text(json.dumps({"schema": SCHEMA_VERSION}))
+    with pytest.raises(ValueError):
+        load_baseline(missing)
+
+
+def test_check_regression_end_to_end(quick_run, tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(quick_run))
+    # A generous tolerance keeps this stable on noisy CI machines.
+    ok, comparisons = check_regression(
+        path, settings=QUICK_SETTINGS, tolerance=25.0
+    )
+    assert ok
+    assert {c.name for c in comparisons} == HOT_PATHS
