@@ -6,15 +6,40 @@ a dense edge decoder, and full-graph training with a class-balanced BCE.
 The dense n×n target/score matrices are the reason these models OOM on the
 paper's large datasets — the ``dense_square_bytes`` helper feeds that same
 O(n²) accounting into the memory model of the benches.
+
+All baseline epoch loops run through :func:`run_training`, the thin wrapper
+over the shared :class:`repro.train.Trainer` — one epoch-loop implementation
+(timing, telemetry, callbacks) instead of one per model.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Iterable, Mapping
+
 import numpy as np
 
 from ... import nn
+from ...train import Callback, Trainer, TrainState
 
-__all__ = ["GCNEncoder", "balanced_bce_weight", "dense_square_bytes"]
+__all__ = [
+    "GCNEncoder",
+    "balanced_bce_weight",
+    "dense_square_bytes",
+    "run_training",
+]
+
+
+def run_training(
+    epoch_fn: Callable[[TrainState], "Mapping[str, float] | None"],
+    epochs: int,
+    callbacks: Iterable[Callback] = (),
+) -> TrainState:
+    """Drive a baseline's epoch body through the shared Trainer.
+
+    Returns the final :class:`TrainState`; the per-epoch traces in
+    ``state.history`` are what the models expose as their ``losses`` lists.
+    """
+    return Trainer(max_epochs=epochs, callbacks=callbacks).fit(epoch_fn)
 
 
 class GCNEncoder(nn.Module):

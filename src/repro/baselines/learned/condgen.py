@@ -19,7 +19,12 @@ import numpy as np
 from ... import nn
 from ...graphs import Graph, assemble_graph, spectral_embedding
 from ..base import GraphGenerator, rng_from_seed
-from .common import GCNEncoder, balanced_bce_weight, dense_square_bytes
+from .common import (
+    GCNEncoder,
+    balanced_bce_weight,
+    dense_square_bytes,
+    run_training,
+)
 
 __all__ = ["CondGenR"]
 
@@ -54,7 +59,7 @@ class CondGenR(GraphGenerator):
         self._graph_sigma: np.ndarray | None = None
         self.losses: list[float] = []
 
-    def fit(self, graph: Graph) -> "CondGenR":
+    def fit(self, graph: Graph, *, callbacks=()) -> "CondGenR":
         rng = np.random.default_rng(self.seed)
         n = graph.num_nodes
         features = spectral_embedding(graph, dim=self.feature_dim)
@@ -74,7 +79,8 @@ class CondGenR(GraphGenerator):
         params += list(self.node_decoder.parameters())
         beta = self.beta_kl if self.beta_kl is not None else 1.0 / n
         opt = nn.Adam(params, lr=self.learning_rate)
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             h = self.encoder(adj_norm, features)
             pooled = h.mean(axis=0, keepdims=True)           # graph-level
             mu = self.head_mu(pooled)
@@ -97,7 +103,10 @@ class CondGenR(GraphGenerator):
             opt.zero_grad()
             loss.backward()
             opt.step()
-            self.losses.append(float(loss.data))
+            return {"loss": float(loss.data)}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         with nn.no_grad():
             h = self.encoder(adj_norm, features)
             pooled = h.mean(axis=0, keepdims=True)

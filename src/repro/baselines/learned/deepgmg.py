@@ -28,6 +28,7 @@ import scipy.sparse as sp
 from ... import nn
 from ...graphs import Graph
 from ..base import GraphGenerator, rng_from_seed
+from .common import run_training
 from .graphrnn import bfs_order
 
 __all__ = ["DeepGMG"]
@@ -79,7 +80,7 @@ class DeepGMG(GraphGenerator):
         return self.encoder_conv(self.feature_proj(nn.Tensor(features)), adj_norm)
 
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph) -> "DeepGMG":
+    def fit(self, graph: Graph, *, callbacks=()) -> "DeepGMG":
         rng = np.random.default_rng(self.seed)
         self._build(rng)
         order = bfs_order(graph)
@@ -93,7 +94,8 @@ class DeepGMG(GraphGenerator):
         self._num_edges = graph.num_edges
         opt = nn.Adam(list(self._parameters()), lr=self.learning_rate)
         partial = sp.lil_matrix((n, n))
-        for epoch in range(self.epochs):
+
+        def epoch_fn(state):
             partial[:, :] = 0
             epoch_losses = []
             for v in range(1, n):
@@ -137,10 +139,14 @@ class DeepGMG(GraphGenerator):
                 loss.backward()
                 opt.step()
                 epoch_losses.append(float(loss.data))
+                state.step({"loss": epoch_losses[-1]})
                 for j in true_targets:
                     partial[v, j] = 1.0
                     partial[j, v] = 1.0
-            self.losses.append(float(np.mean(epoch_losses)))
+            return {"loss": float(np.mean(epoch_losses))}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self
 

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 from ... import nn
 from ...graphs import Graph
 from ..base import GraphGenerator, rng_from_seed
+from .common import run_training
 from .graphrnn import bfs_order
 
 __all__ = ["GRANLite"]
@@ -101,7 +102,7 @@ class GRANLite(GraphGenerator):
         return self.query_mlp(nn.concat(rows, axis=0))
 
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph) -> "GRANLite":
+    def fit(self, graph: Graph, *, callbacks=()) -> "GRANLite":
         rng = np.random.default_rng(self.seed)
         self._build(rng)
         order = bfs_order(graph)
@@ -118,7 +119,8 @@ class GRANLite(GraphGenerator):
         self._num_edges = graph.num_edges
         opt = nn.Adam(list(self._parameters()), lr=self.learning_rate)
         blocks = list(range(0, n, self.block_size))
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             epoch_losses = []
             for start in blocks:
                 stop = min(start + self.block_size, n)
@@ -168,7 +170,11 @@ class GRANLite(GraphGenerator):
                 loss.backward()
                 opt.step()
                 epoch_losses.append(float(loss.data))
-            self.losses.append(float(np.mean(epoch_losses)))
+                state.step({"loss": epoch_losses[-1]})
+            return {"loss": float(np.mean(epoch_losses))}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self
 

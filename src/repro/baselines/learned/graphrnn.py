@@ -20,6 +20,7 @@ import numpy as np
 from ... import nn
 from ...graphs import Graph
 from ..base import GraphGenerator, rng_from_seed
+from .common import run_training
 
 __all__ = ["GraphRNNS", "bfs_order", "bfs_bandwidth"]
 
@@ -92,7 +93,7 @@ class GraphRNNS(GraphGenerator):
                 strips[hi, offset] = 1.0
         return strips
 
-    def fit(self, graph: Graph) -> "GraphRNNS":
+    def fit(self, graph: Graph, *, callbacks=()) -> "GraphRNNS":
         rng = np.random.default_rng(self.seed)
         order = bfs_order(graph)
         self.bandwidth = min(bfs_bandwidth(graph, order), self.max_bandwidth)
@@ -105,13 +106,15 @@ class GraphRNNS(GraphGenerator):
         params = list(self.gru.parameters()) + list(self.out.parameters())
         opt = nn.Adam(params, lr=self.learning_rate)
         n = graph.num_nodes
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             # Teacher forcing: the GRU consumes the true strip sequence as a
             # single batched scan (inputs shifted by one step).
             inputs = np.vstack([np.zeros((1, m)), strips[:-1]])
             h = nn.Tensor(np.zeros((1, self.hidden_dim)))
             losses = []
-            # Process in chunks to bound graph depth.
+            # Process in chunks to bound graph depth; each chunk is one
+            # optimizer step reported through the trainer's step hook.
             chunk = 64
             for start in range(0, n, chunk):
                 h = h.detach()
@@ -132,7 +135,11 @@ class GraphRNNS(GraphGenerator):
                 total.backward()
                 opt.step()
                 losses.append(float(total.data))
-            self.losses.append(float(np.mean(losses)))
+                state.step({"loss": losses[-1]})
+            return {"loss": float(np.mean(losses))}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self
 

@@ -29,6 +29,7 @@ import numpy as np
 from ... import nn
 from ...graphs import Graph, assemble_graph
 from ..base import GraphGenerator, rng_from_seed
+from .common import run_training
 from .netgan import sample_random_walks
 
 __all__ = ["NetGANAdversarial"]
@@ -135,7 +136,7 @@ class NetGANAdversarial(GraphGenerator):
         self.generator_losses: list[float] = []
         self.discriminator_losses: list[float] = []
 
-    def fit(self, graph: Graph) -> "NetGANAdversarial":
+    def fit(self, graph: Graph, *, callbacks=()) -> "NetGANAdversarial":
         rng = np.random.default_rng(self.seed)
         n = graph.num_nodes
         self.generator = _WalkGenerator(
@@ -146,7 +147,8 @@ class NetGANAdversarial(GraphGenerator):
         )
         opt_g = nn.Adam(self.generator.parameters(), lr=self.learning_rate)
         opt_d = nn.Adam(self.discriminator.parameters(), lr=self.learning_rate)
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             real = sample_random_walks(
                 graph, self.batch_size, self.walk_length, rng
             )
@@ -186,8 +188,14 @@ class NetGANAdversarial(GraphGenerator):
             self.discriminator.zero_grad()
             g_loss.backward()
             opt_g.step()
-            self.generator_losses.append(float(g_loss.data))
-            self.discriminator_losses.append(float(d_loss.data))
+            return {
+                "generator": float(g_loss.data),
+                "discriminator": float(d_loss.data),
+            }
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.generator_losses = state.trace("generator")
+        self.discriminator_losses = state.trace("discriminator")
         self._mark_fitted(graph)
         return self
 

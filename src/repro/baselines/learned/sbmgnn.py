@@ -19,7 +19,12 @@ import numpy as np
 from ... import nn
 from ...graphs import Graph, assemble_graph, spectral_embedding
 from ..base import GraphGenerator, rng_from_seed
-from .common import GCNEncoder, balanced_bce_weight, dense_square_bytes
+from .common import (
+    GCNEncoder,
+    balanced_bce_weight,
+    dense_square_bytes,
+    run_training,
+)
 
 __all__ = ["SBMGNN"]
 
@@ -51,7 +56,7 @@ class SBMGNN(GraphGenerator):
         self._memberships: np.ndarray | None = None
         self.losses: list[float] = []
 
-    def fit(self, graph: Graph) -> "SBMGNN":
+    def fit(self, graph: Graph, *, callbacks=()) -> "SBMGNN":
         rng = np.random.default_rng(self.seed)
         features = spectral_embedding(graph, dim=self.feature_dim)
         self.node_embedding = nn.Parameter(
@@ -71,7 +76,8 @@ class SBMGNN(GraphGenerator):
         params += list(self.encoder.parameters())
         params += list(self.head_membership.parameters())
         opt = nn.Adam(params, lr=self.learning_rate)
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             logits = self._edge_logits(adj_norm, features)
             loss = nn.binary_cross_entropy_with_logits(logits, target, weight)
             # Sparse-membership prior (the model's stick-breaking shrinkage,
@@ -82,7 +88,10 @@ class SBMGNN(GraphGenerator):
             opt.zero_grad()
             loss.backward()
             opt.step()
-            self.losses.append(float(loss.data))
+            return {"loss": float(loss.data)}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         with nn.no_grad():
             self._edge_logits(adj_norm, features)
             self._memberships = self._last_memberships.data.copy()

@@ -21,7 +21,12 @@ import numpy as np
 from ... import nn
 from ...graphs import Graph, assemble_graph, spectral_embedding
 from ..base import GraphGenerator, rng_from_seed
-from .common import GCNEncoder, balanced_bce_weight, dense_square_bytes
+from .common import (
+    GCNEncoder,
+    balanced_bce_weight,
+    dense_square_bytes,
+    run_training,
+)
 
 __all__ = ["VGAE", "Graphite"]
 
@@ -64,7 +69,7 @@ class VGAE(GraphGenerator):
         """Inner-product edge logits (overridden by Graphite)."""
         return z @ z.T
 
-    def fit(self, graph: Graph) -> "VGAE":
+    def fit(self, graph: Graph, *, callbacks=()) -> "VGAE":
         rng = np.random.default_rng(self.seed)
         features = np.concatenate(
             [
@@ -91,7 +96,8 @@ class VGAE(GraphGenerator):
         params += list(self.head_mu.parameters())
         params += list(self.head_logvar.parameters())
         opt = nn.Adam(params, lr=self.learning_rate)
-        for _ in range(self.epochs):
+
+        def epoch_fn(state):
             x = nn.concat(
                 [nn.Tensor(features), self.node_embedding], axis=1
             )
@@ -106,7 +112,10 @@ class VGAE(GraphGenerator):
             opt.zero_grad()
             loss.backward()
             opt.step()
-            self.losses.append(float(loss.data))
+            return {"loss": float(loss.data)}
+
+        state = run_training(epoch_fn, self.epochs, callbacks)
+        self.losses = state.trace("loss")
         with nn.no_grad():
             x = nn.concat([nn.Tensor(features), self.node_embedding], axis=1)
             h = self.encoder(adj_norm, x)

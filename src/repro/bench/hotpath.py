@@ -30,11 +30,11 @@ from typing import Callable
 
 import numpy as np
 
-from .. import nn
 from ..core import CPGAN, CPGANConfig
 from ..datasets import load
 from ..graphs import Graph
 from ..metrics import clustering_mmd, degree_mmd
+from ..train import EpochTimer, Trainer, TrainState
 
 __all__ = [
     "HotpathSettings",
@@ -113,21 +113,15 @@ def _time_train_epoch(
     graph: Graph, settings: HotpathSettings
 ) -> tuple[float, float]:
     model = _fitted_model(graph, settings)
-    cfg = model.config
-    rng = np.random.default_rng(cfg.seed + 1)
-    gen_params = [model.node_embedding]
-    gen_params += list(model.encoder.parameters())
-    gen_params += list(model.vi.parameters())
-    gen_params += list(model.decoder.parameters())
-    opt_gen = nn.Adam(gen_params, lr=cfg.learning_rate)
-    opt_disc = nn.Adam(model.discriminator.parameters(), lr=cfg.learning_rate)
-
-    def one_epoch() -> None:
-        nodes, sub = model._training_view(graph, rng)
-        model._train_epoch(sub, nodes, opt_gen, opt_disc, rng)
-
-    one_epoch()  # warm up (first call pays sparse-structure setup costs)
-    return _timeit(one_epoch, settings.repeats)
+    # Continue the model's live training session through the shared Trainer
+    # and read its built-in per-epoch wall times; skip=1 drops the warm-up
+    # epoch (first call pays sparse-structure setup costs).  A fresh
+    # TrainState keeps the bench epochs out of the model's history.
+    timer = EpochTimer(skip=1)
+    Trainer(max_epochs=settings.repeats + 1, callbacks=[timer]).fit(
+        model._epoch_fn(model._session), state=TrainState()
+    )
+    return timer.mean_s, timer.std_s
 
 
 def _time_generation(

@@ -49,6 +49,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--sample-size", type=int, default=256)
     p_fit.add_argument("--learning-rate", type=float, default=1e-3)
     p_fit.add_argument("--seed", type=int, default=0)
+    p_fit.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume training from a checkpoint written by --checkpoint-path",
+    )
+    p_fit.add_argument(
+        "--checkpoint-path",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write training checkpoints here ({epoch} is substituted)",
+    )
+    p_fit.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint cadence in epochs (requires --checkpoint-path)",
+    )
+    p_fit.add_argument(
+        "--run-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append per-epoch JSONL telemetry to this file",
+    )
 
     p_gen = sub.add_parser("generate", help="sample graphs from a model")
     p_gen.add_argument("model", type=Path)
@@ -93,17 +121,26 @@ def _cmd_stats(args) -> int:
 
 def _cmd_fit(args) -> int:
     graph = read_edge_list(args.graph)
-    config = CPGANConfig(
-        epochs=args.epochs,
-        hidden_dim=args.hidden_dim,
-        latent_dim=args.latent_dim,
-        num_levels=args.levels,
-        sample_size=args.sample_size,
-        learning_rate=args.learning_rate,
-        seed=args.seed,
+    fit_options = dict(
+        checkpoint_path=args.checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
+        run_log_path=args.run_log,
     )
-    print(f"Training CPGAN on {graph} for {args.epochs} epochs...")
-    model = CPGAN(config).fit(graph)
+    if args.resume is not None:
+        print(f"Resuming CPGAN training from {args.resume}...")
+        model = CPGAN().fit(graph, resume_from=args.resume, **fit_options)
+    else:
+        config = CPGANConfig(
+            epochs=args.epochs,
+            hidden_dim=args.hidden_dim,
+            latent_dim=args.latent_dim,
+            num_levels=args.levels,
+            sample_size=args.sample_size,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+        )
+        print(f"Training CPGAN on {graph} for {args.epochs} epochs...")
+        model = CPGAN(config).fit(graph, **fit_options)
     save_model(model, args.output)
     print(f"Model written to {args.output}")
     return 0

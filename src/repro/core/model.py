@@ -25,6 +25,7 @@ training procedure of Eqs. 16–19 and the generation procedure of §III-G:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -37,6 +38,14 @@ from ..graphs import (
     sample_subgraph,
     spectral_embedding,
 )
+from ..train import (
+    Callback,
+    Checkpoint,
+    ConvergenceStopping,
+    JsonlRunLog,
+    Trainer,
+    TrainState,
+)
 from .config import CPGANConfig
 from .decoder import GraphDecoder
 from .discriminator import Discriminator
@@ -47,10 +56,25 @@ __all__ = ["CPGAN", "TrainingHistory"]
 
 _DENSE_GENERATION_LIMIT = 4096
 
+_TRACE_NAMES = (
+    "total",
+    "reconstruction",
+    "kl",
+    "clustering",
+    "adversarial",
+    "mapping",
+    "discriminator",
+)
+
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch loss traces (useful for the robustness bench, Fig. 6)."""
+    """Per-epoch loss traces (useful for the robustness bench, Fig. 6).
+
+    The lists are shared with the training session's
+    :class:`~repro.train.TrainState` history, so the Trainer's metric
+    recording updates both views at once.
+    """
 
     total: list[float] = field(default_factory=list)
     reconstruction: list[float] = field(default_factory=list)
@@ -59,6 +83,27 @@ class TrainingHistory:
     adversarial: list[float] = field(default_factory=list)
     mapping: list[float] = field(default_factory=list)
     discriminator: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, list[float]]:
+        """Name -> trace mapping sharing the underlying list objects."""
+        return {name: getattr(self, name) for name in _TRACE_NAMES}
+
+
+@dataclass
+class _TrainSession:
+    """Everything CPGAN training carries across epochs *and* fit calls.
+
+    Holding the RNG, optimizers and scheduler here (instead of rebuilding
+    them inside ``fit``) is what makes repeated ``fit`` calls continue
+    training, and what a checkpoint must capture for bit-identical resume.
+    """
+
+    graph: Graph
+    rng: np.random.Generator
+    opt_gen: nn.Adam
+    opt_disc: nn.Adam
+    sched: nn.StepDecay
+    state: TrainState
 
 
 class CPGAN(GraphGenerator):
@@ -86,11 +131,61 @@ class CPGAN(GraphGenerator):
         self._latents: LatentDistributions | None = None
         self._features: np.ndarray | None = None
         self._ground_truth: list[np.ndarray] | None = None
+        self._session: _TrainSession | None = None
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, graph: Graph) -> "CPGAN":
+    def fit(
+        self,
+        graph: Graph | None = None,
+        *,
+        callbacks: tuple[Callback, ...] | list[Callback] = (),
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+        run_log_path: str | Path | None = None,
+        resume_from: str | Path | None = None,
+    ) -> "CPGAN":
+        """Train on one observed graph through the shared Trainer.
+
+        Repeated calls with the same ``graph`` object *continue* training
+        (the RNG, optimizers and scheduler live in the session, not the
+        call); ``resume_from`` restores a mid-training checkpoint and runs
+        the remaining epochs, reproducing the uninterrupted run's trace
+        bit-for-bit.  ``graph`` may be omitted only with ``resume_from``
+        (the observed graph is restored from the checkpoint).
+        """
+        resuming = resume_from is not None
+        if resuming:
+            from .persistence import restore_training_checkpoint
+
+            restore_training_checkpoint(self, resume_from, graph)
+        elif graph is None:
+            raise ValueError("fit() needs a graph unless resume_from is given")
+        elif self._session is None or self._session.graph is not graph:
+            self._session = self._start_session(graph)
+        cfg = self.config  # after restore: the checkpoint's config wins
+        session = self._session
+        graph = session.graph
+        trainer = Trainer(
+            max_epochs=cfg.epochs,
+            callbacks=self._fit_callbacks(
+                callbacks, checkpoint_path, checkpoint_every, run_log_path
+            ),
+            checkpoint_fn=lambda path, state: self.save_training_checkpoint(
+                path
+            ),
+        )
+        trainer.fit(
+            self._epoch_fn(session),
+            state=session.state,
+            target_epochs=cfg.epochs if resuming else None,
+        )
+        self._latents = self._infer_latents(graph, session.rng)
+        self._mark_fitted(graph)
+        return self
+
+    def _start_session(self, graph: Graph) -> _TrainSession:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         self._features = spectral_embedding(graph, dim=cfg.input_dim)
@@ -108,45 +203,80 @@ class CPGAN(GraphGenerator):
             if pooling_steps
             else []
         )
+        return self._build_session(graph, rng)
 
-        gen_params = [self.node_embedding]
-        gen_params += list(self.encoder.parameters())
-        gen_params += list(self.vi.parameters())
-        gen_params += list(self.decoder.parameters())
-        opt_gen = nn.Adam(gen_params, lr=cfg.learning_rate)
-        opt_disc = nn.Adam(self.discriminator.parameters(), lr=cfg.learning_rate)
+    def _build_session(
+        self, graph: Graph, rng: np.random.Generator
+    ) -> _TrainSession:
+        cfg = self.config
+        opt_gen = nn.Adam(self._generator_parameters(), lr=cfg.learning_rate)
+        opt_disc = nn.Adam(
+            self.discriminator.parameters(), lr=cfg.learning_rate
+        )
         sched = nn.StepDecay(opt_gen, cfg.lr_decay_every, cfg.lr_decay_gamma)
+        state = TrainState(history=self.history.as_dict())
+        return _TrainSession(graph, rng, opt_gen, opt_disc, sched, state)
 
-        for epoch in range(cfg.epochs):
-            nodes, sub = self._training_view(graph, rng)
-            self._train_epoch(sub, nodes, opt_gen, opt_disc, rng)
-            sched.step()
-            if cfg.early_stopping and self._converged():
-                break
+    def _generator_parameters(self) -> list[nn.Parameter]:
+        params = [self.node_embedding]
+        params += list(self.encoder.parameters())
+        params += list(self.vi.parameters())
+        params += list(self.decoder.parameters())
+        return params
 
-        self._latents = self._infer_latents(graph, rng)
-        self._mark_fitted(graph)
-        return self
+    def _epoch_fn(self, session: _TrainSession):
+        def epoch_fn(state: TrainState) -> dict[str, float]:
+            nodes, sub = self._training_view(session.graph, session.rng)
+            metrics = self._train_epoch(
+                sub, nodes, session.opt_gen, session.opt_disc, session.rng
+            )
+            session.sched.step()
+            return metrics
 
-    def _converged(self) -> bool:
+        return epoch_fn
+
+    def _fit_callbacks(
+        self,
+        callbacks,
+        checkpoint_path,
+        checkpoint_every,
+        run_log_path,
+    ) -> list[Callback]:
+        cbs = list(callbacks)
+        if run_log_path is not None:
+            cbs.append(
+                JsonlRunLog(
+                    run_log_path,
+                    meta={"model": self.name, "seed": self.config.seed},
+                )
+            )
+        if checkpoint_path is not None:
+            cbs.append(
+                Checkpoint(checkpoint_path, every=max(checkpoint_every, 1))
+            )
+        if self.config.early_stopping:
+            cbs.append(self._convergence_callback())
+        return cbs
+
+    def _convergence_callback(self) -> ConvergenceStopping:
         """§III-F2 stopping rule: L_clus *and* the discriminator's real-graph
         score must both be flat over the last ``patience`` epochs."""
         cfg = self.config
-        window = cfg.patience
-        if len(self.history.total) < 2 * window:
-            return False
-
-        def flat(trace: list[float]) -> bool:
-            recent = np.asarray(trace[-window:])
-            previous = np.asarray(trace[-2 * window : -window])
-            scale = max(abs(previous.mean()), 1e-8)
-            return abs(recent.mean() - previous.mean()) / scale < cfg.convergence_tol
-
-        clus_trace = self.history.clustering
-        clus_done = (
-            flat(clus_trace) if any(c != 0.0 for c in clus_trace) else True
+        return ConvergenceStopping(
+            monitors=("clustering", "discriminator"),
+            patience=cfg.patience,
+            tol=cfg.convergence_tol,
+            skip_if_zero=("clustering",),
         )
-        return clus_done and flat(self.history.discriminator)
+
+    def _converged(self) -> bool:
+        return self._convergence_callback().converged(self.history.as_dict())
+
+    def save_training_checkpoint(self, path: str | Path) -> None:
+        """Write a resumable mid-training checkpoint (see persistence)."""
+        from .persistence import save_training_checkpoint
+
+        save_training_checkpoint(self, path)
 
     def _training_view(
         self, graph: Graph, rng: np.random.Generator
@@ -165,7 +295,7 @@ class CPGAN(GraphGenerator):
         opt_gen: nn.Adam,
         opt_disc: nn.Adam,
         rng: np.random.Generator,
-    ) -> None:
+    ) -> dict[str, float]:
         cfg = self.config
         adj_norm = LadderEncoder.prepare_adjacency(sub, cfg.adjacency_power)
         features = self._node_features(nodes)
@@ -225,14 +355,15 @@ class CPGAN(GraphGenerator):
         d_loss.backward()
         opt_disc.step()
 
-        hist = self.history
-        hist.total.append(float(loss.data))
-        hist.reconstruction.append(float(recon.data))
-        hist.kl.append(float(kl.data) if kl is not None else 0.0)
-        hist.clustering.append(float(clus.data) if clus is not None else 0.0)
-        hist.adversarial.append(float(adv.data))
-        hist.mapping.append(float(mapping.data))
-        hist.discriminator.append(float(d_loss.data))
+        return {
+            "total": float(loss.data),
+            "reconstruction": float(recon.data),
+            "kl": float(kl.data) if kl is not None else 0.0,
+            "clustering": float(clus.data) if clus is not None else 0.0,
+            "adversarial": float(adv.data),
+            "mapping": float(mapping.data),
+            "discriminator": float(d_loss.data),
+        }
 
     def _node_features(self, nodes: np.ndarray) -> nn.Tensor:
         """Spectral features concatenated with the identity embedding rows."""

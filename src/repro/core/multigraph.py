@@ -21,8 +21,9 @@ import numpy as np
 from .. import nn
 from ..community import hierarchical_labels
 from ..graphs import Graph, spectral_embedding
+from ..train import Trainer, TrainState
 from .encoder import LadderEncoder
-from .model import CPGAN
+from .model import CPGAN, _TrainSession
 from .variational import LatentDistributions
 
 __all__ = ["CPGANMultiGraph"]
@@ -40,7 +41,9 @@ class CPGANMultiGraph(CPGAN):
         self._per_graph_latents: list[LatentDistributions] = []
 
     # ------------------------------------------------------------------
-    def fit(self, graphs: Sequence[Graph] | Graph) -> "CPGANMultiGraph":
+    def fit(
+        self, graphs: Sequence[Graph] | Graph, *, callbacks=()
+    ) -> "CPGANMultiGraph":
         if isinstance(graphs, Graph):
             graphs = [graphs]
         graphs = list(graphs)
@@ -79,24 +82,14 @@ class CPGANMultiGraph(CPGAN):
         else:
             self._ground_truth = []
 
-        gen_params = [self.node_embedding]
-        gen_params += list(self.encoder.parameters())
-        gen_params += list(self.vi.parameters())
-        gen_params += list(self.decoder.parameters())
-        opt_gen = nn.Adam(gen_params, lr=cfg.learning_rate)
-        opt_disc = nn.Adam(self.discriminator.parameters(), lr=cfg.learning_rate)
-        sched = nn.StepDecay(opt_gen, cfg.lr_decay_every, cfg.lr_decay_gamma)
-        for epoch in range(cfg.epochs):
-            index = epoch % len(graphs)
-            graph = graphs[index]
-            offset = self._offsets[index]
-            local_nodes, sub = self._training_view(graph, rng)
-            self._train_epoch(
-                sub, offset + local_nodes, opt_gen, opt_disc, rng
-            )
-            sched.step()
-            if cfg.early_stopping and self._converged():
-                break
+        # Epochs round-robin over the training graphs through the shared
+        # Trainer; the session makes repeated fit calls continue training.
+        self._session = self._build_session(graphs[0], rng)
+        session = self._session
+        Trainer(
+            max_epochs=cfg.epochs,
+            callbacks=self._fit_callbacks(callbacks, None, 0, None),
+        ).fit(self._epoch_fn(session), state=session.state)
 
         self._per_graph_latents = []
         for graph, offset in zip(graphs, self._offsets):
@@ -107,6 +100,24 @@ class CPGANMultiGraph(CPGAN):
         self._latents = self._per_graph_latents[0]
         self._mark_fitted(graphs[0])
         return self
+
+    def _epoch_fn(self, session: _TrainSession):
+        def epoch_fn(state: TrainState) -> dict[str, float]:
+            index = state.epoch % len(self._graphs)
+            graph = self._graphs[index]
+            offset = self._offsets[index]
+            local_nodes, sub = self._training_view(graph, session.rng)
+            metrics = self._train_epoch(
+                sub,
+                offset + local_nodes,
+                session.opt_gen,
+                session.opt_disc,
+                session.rng,
+            )
+            session.sched.step()
+            return metrics
+
+        return epoch_fn
 
     def _infer_latents_for(
         self, graph: Graph, offset: int, rng: np.random.Generator

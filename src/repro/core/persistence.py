@@ -1,11 +1,19 @@
-"""Save / load trained CPGAN models.
+"""Save / load trained CPGAN models and resumable training checkpoints.
 
-A trained CPGAN is fully described by its configuration, the parameter
-arrays of its four modules (in deterministic discovery order), the node
-embedding table, the cached spectral features, the Louvain ground-truth
-hierarchy, and the posterior latent snapshots.  Everything is stored in a
-single compressed ``.npz`` archive so a trained generator can be shipped to
-the consumer of the synthetic graphs without the training data.
+Two archive kinds share one on-disk container (a compressed ``.npz`` with a
+JSON metadata blob):
+
+* **model** (:func:`save_model` / :func:`load_model`) — a *fitted* CPGAN:
+  configuration, parameter arrays of the four modules (in deterministic
+  discovery order), the node embedding table, cached spectral features, the
+  Louvain ground-truth hierarchy, and the posterior latent snapshots.
+  Everything a consumer of the synthetic graphs needs, nothing more.
+* **training checkpoint** (:func:`save_training_checkpoint` /
+  :func:`restore_training_checkpoint`) — a *mid-training* snapshot: the
+  model arrays plus the full optimizer moments, the learning-rate schedule,
+  the training RNG's bit-generator state, and the
+  :class:`~repro.train.TrainState` traces.  Restoring one and finishing the
+  remaining epochs reproduces the uninterrupted run bit-for-bit.
 """
 
 from __future__ import annotations
@@ -19,21 +27,74 @@ import numpy as np
 from .. import nn
 from ..graphs import Graph
 from .config import CPGANConfig
+from .decoder import GraphDecoder
+from .discriminator import Discriminator
+from .encoder import LadderEncoder
 from .model import CPGAN
-from .variational import LatentDistributions
+from .variational import LatentDistributions, VariationalInference
 
-__all__ = ["save_model", "load_model"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_training_checkpoint",
+    "restore_training_checkpoint",
+]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
-def save_model(model: CPGAN, path: str | Path) -> None:
-    """Serialise a fitted CPGAN to ``path`` (.npz)."""
-    observed = model._require_fitted()
+# ----------------------------------------------------------------------
+# shared archive container
+# ----------------------------------------------------------------------
+def write_archive(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict
+) -> None:
+    """One compressed npz holding named arrays plus a JSON metadata blob."""
+    payload = dict(arrays)
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def read_archive(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load an archive written by :func:`write_archive` into memory."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        arrays = {
+            name: archive[name].copy()
+            for name in archive.files
+            if name != "meta_json"
+        }
+    return arrays, meta
+
+
+def _module_arrays(model: CPGAN) -> dict[str, np.ndarray]:
     arrays: dict[str, np.ndarray] = {}
     for prefix, module in _modules(model):
         for i, array in enumerate(module.state_dict()):
             arrays[f"{prefix}_{i}"] = array
+    return arrays
+
+
+def _load_module_arrays(model: CPGAN, arrays: dict[str, np.ndarray]) -> None:
+    for prefix, module in _modules(model):
+        state = []
+        i = 0
+        while f"{prefix}_{i}" in arrays:
+            state.append(arrays[f"{prefix}_{i}"])
+            i += 1
+        module.load_state_dict(state)
+
+
+# ----------------------------------------------------------------------
+# fitted models
+# ----------------------------------------------------------------------
+def save_model(model: CPGAN, path: str | Path) -> None:
+    """Serialise a fitted CPGAN to ``path`` (.npz)."""
+    observed = model._require_fitted()
+    arrays = _module_arrays(model)
     arrays["node_embedding"] = model.node_embedding.data
     arrays["features"] = model._features
     for i, mu in enumerate(model._latents.mus):
@@ -50,50 +111,136 @@ def save_model(model: CPGAN, path: str | Path) -> None:
         "num_ground_truth": len(model._ground_truth or []),
         "num_nodes": observed.num_nodes,
     }
-    arrays["meta_json"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(Path(path), **arrays)
+    write_archive(path, arrays, meta)
 
 
 def load_model(path: str | Path) -> CPGAN:
     """Restore a CPGAN saved with :func:`save_model`."""
-    with np.load(Path(path)) as archive:
-        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        if meta["version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported model format version {meta['version']}"
-            )
-        config = CPGANConfig(**meta["config"])
-        model = CPGAN(config)
-        for prefix, module in _modules(model):
-            state = []
-            i = 0
-            while f"{prefix}_{i}" in archive:
-                state.append(archive[f"{prefix}_{i}"])
-                i += 1
-            module.load_state_dict(state)
-        model.node_embedding = nn.Parameter(archive["node_embedding"].copy())
-        model._features = archive["features"].copy()
-        model._latents = LatentDistributions(
-            mus=[
-                archive[f"latent_mu_{i}"].copy()
-                for i in range(meta["num_levels"])
-            ],
-            sigmas=[
-                archive[f"latent_sigma_{i}"].copy()
-                for i in range(meta["num_levels"])
-            ],
-        )
-        model._ground_truth = [
-            archive[f"ground_truth_{i}"].copy()
-            for i in range(meta["num_ground_truth"])
-        ]
-        observed = Graph.from_edges(
-            meta["num_nodes"], archive["observed_edges"]
-        )
+    arrays, meta = read_archive(path)
+    if meta["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {meta['version']}")
+    config = CPGANConfig(**meta["config"])
+    model = CPGAN(config)
+    _load_module_arrays(model, arrays)
+    model.node_embedding = nn.Parameter(arrays["node_embedding"])
+    model._features = arrays["features"]
+    model._latents = LatentDistributions(
+        mus=[arrays[f"latent_mu_{i}"] for i in range(meta["num_levels"])],
+        sigmas=[
+            arrays[f"latent_sigma_{i}"] for i in range(meta["num_levels"])
+        ],
+    )
+    model._ground_truth = [
+        arrays[f"ground_truth_{i}"]
+        for i in range(meta["num_ground_truth"])
+    ]
+    observed = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
     model._mark_fitted(observed)
     return model
+
+
+# ----------------------------------------------------------------------
+# training checkpoints
+# ----------------------------------------------------------------------
+def save_training_checkpoint(model: CPGAN, path: str | Path) -> None:
+    """Snapshot an in-progress training session for bit-identical resume."""
+    session = model._session
+    if session is None:
+        raise RuntimeError(
+            "no active training session — save_training_checkpoint only "
+            "works during or after fit()"
+        )
+    arrays = _module_arrays(model)
+    arrays["node_embedding"] = model.node_embedding.data
+    arrays["features"] = model._features
+    for i, labels in enumerate(model._ground_truth or []):
+        arrays[f"ground_truth_{i}"] = labels
+    arrays["observed_edges"] = session.graph.edge_array()
+    opt_meta = {}
+    for name, opt in (("opt_gen", session.opt_gen), ("opt_disc", session.opt_disc)):
+        state = opt.state_dict()
+        for i, m in enumerate(state["m"]):
+            arrays[f"{name}_m_{i}"] = m
+        for i, v in enumerate(state["v"]):
+            arrays[f"{name}_v_{i}"] = v
+        opt_meta[name] = {"lr": state["lr"], "t": state["t"]}
+    meta = {
+        "version": _CHECKPOINT_VERSION,
+        "kind": "training_checkpoint",
+        "config": asdict(model.config),
+        "num_ground_truth": len(model._ground_truth or []),
+        "num_nodes": session.graph.num_nodes,
+        "optimizers": opt_meta,
+        "sched": session.sched.state_dict(),
+        "rng_state": session.rng.bit_generator.state,
+        "train_state": session.state.snapshot(),
+    }
+    write_archive(path, arrays, meta)
+
+
+def restore_training_checkpoint(
+    model: CPGAN, path: str | Path, graph: Graph | None = None
+) -> None:
+    """Rebuild ``model``'s training session from a checkpoint, in place.
+
+    The checkpoint's configuration wins (modules are rebuilt from it); pass
+    ``graph`` to verify it matches the training graph stored in the
+    checkpoint, or omit it to restore the graph from the stored edge list.
+    """
+    arrays, meta = read_archive(path)
+    if meta.get("kind") != "training_checkpoint":
+        raise ValueError(f"{path} is not a training checkpoint")
+    if meta["version"] != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {meta['version']}"
+        )
+    stored = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
+    if graph is not None:
+        if graph.num_nodes != stored.num_nodes or not np.array_equal(
+            graph.edge_array(), stored.edge_array()
+        ):
+            raise ValueError(
+                "graph passed to resume does not match the checkpoint's "
+                "training graph"
+            )
+        stored = graph
+    config = CPGANConfig(**meta["config"])
+    model.config = config
+    init_rng = np.random.default_rng(config.seed)
+    model.encoder = LadderEncoder(config, init_rng)
+    model.vi = VariationalInference(config, init_rng)
+    model.decoder = GraphDecoder(config, init_rng)
+    model.discriminator = Discriminator(config, init_rng)
+    _load_module_arrays(model, arrays)
+    model.node_embedding = nn.Parameter(arrays["node_embedding"])
+    model._features = arrays["features"]
+    model._ground_truth = [
+        arrays[f"ground_truth_{i}"]
+        for i in range(meta["num_ground_truth"])
+    ]
+    session = model._build_session(stored, np.random.default_rng(config.seed))
+    session.rng.bit_generator.state = meta["rng_state"]
+    for name, opt in (("opt_gen", session.opt_gen), ("opt_disc", session.opt_disc)):
+        opt.load_state_dict(
+            {
+                "lr": meta["optimizers"][name]["lr"],
+                "t": meta["optimizers"][name]["t"],
+                "m": _indexed(arrays, f"{name}_m_"),
+                "v": _indexed(arrays, f"{name}_v_"),
+            }
+        )
+    session.sched.load_state_dict(meta["sched"])
+    session.state.restore(meta["train_state"])
+    model._session = session
+
+
+def _indexed(arrays: dict[str, np.ndarray], prefix: str) -> list[np.ndarray]:
+    out = []
+    i = 0
+    while f"{prefix}{i}" in arrays:
+        out.append(arrays[f"{prefix}{i}"])
+        i += 1
+    return out
 
 
 def _modules(model: CPGAN):

@@ -32,6 +32,13 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Serialisable optimizer state (overridden to add moment buffers)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -58,6 +65,19 @@ class SGD(Optimizer):
             else:
                 np.multiply(p.grad, self.lr, out=buf)
             np.subtract(p.data, buf, out=p.data)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["velocity"]) != len(self._velocity):
+            raise ValueError("velocity count does not match parameter count")
+        for buf, arr in zip(self._velocity, state["velocity"]):
+            buf[...] = arr
 
 
 class Adam(Optimizer):
@@ -125,6 +145,24 @@ class Adam(Optimizer):
             np.divide(s1, s2, out=s1)
             np.subtract(p.data, s1, out=p.data)
 
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self._m):
+            raise ValueError("moment count does not match parameter count")
+        self._t = int(state["t"])
+        for buf, arr in zip(self._m, state["m"]):
+            buf[...] = arr
+        for buf, arr in zip(self._v, state["v"]):
+            buf[...] = arr
+
 
 class StepDecay:
     """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
@@ -141,3 +179,9 @@ class StepDecay:
         self._epoch += 1
         if self._epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])

@@ -1,0 +1,31 @@
+"""``repro.train`` — the unified training engine.
+
+One :class:`Trainer` drives the epoch loop of CPGAN and all eight learned
+baselines; cross-cutting features (convergence early stopping, JSONL run
+telemetry, periodic checkpointing with bit-identical resume, per-epoch
+timing for the perf harness) are :class:`Callback` implementations written
+once instead of nine times.  See README "Training engine" for the run-log
+schema and the resume workflow.
+"""
+
+from .callbacks import (
+    Callback,
+    Checkpoint,
+    ConvergenceStopping,
+    EpochTimer,
+    JsonlRunLog,
+    trace_is_flat,
+)
+from .state import TrainState
+from .trainer import Trainer
+
+__all__ = [
+    "Callback",
+    "Checkpoint",
+    "ConvergenceStopping",
+    "EpochTimer",
+    "JsonlRunLog",
+    "TrainState",
+    "Trainer",
+    "trace_is_flat",
+]

@@ -1,0 +1,235 @@
+"""Callback protocol and the stock callbacks of the training engine.
+
+A :class:`Callback` observes the Trainer's epoch loop through five hooks
+(``on_fit_start``, ``on_epoch_start``, ``on_step_end``, ``on_epoch_end``,
+``on_fit_end``).  The stock implementations cover the cross-cutting features
+every learned model previously hand-rolled or skipped:
+
+* :class:`ConvergenceStopping` — the §III-F2 stopping rule extracted from
+  ``CPGAN._converged``: training ends once every monitored trace is flat
+  over the last ``patience`` epochs (window-mean comparison).
+* :class:`JsonlRunLog` — one JSON line per epoch (metrics + wall time),
+  flushed eagerly so a killed run leaves a complete log.
+* :class:`Checkpoint` — periodic checkpointing through the model-provided
+  save function; supports ``{epoch}`` path templates for keep-all runs.
+* :class:`EpochTimer` — aggregates the trainer's built-in per-epoch wall
+  times (mean/std), feeding the perf harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .state import TrainState
+    from .trainer import Trainer
+
+__all__ = [
+    "Callback",
+    "Checkpoint",
+    "ConvergenceStopping",
+    "EpochTimer",
+    "JsonlRunLog",
+    "trace_is_flat",
+]
+
+
+class Callback:
+    """Base class: every hook is a no-op, subclasses override what they need."""
+
+    def on_fit_start(self, trainer: "Trainer", state: "TrainState") -> None:
+        pass
+
+    def on_epoch_start(self, trainer: "Trainer", state: "TrainState") -> None:
+        pass
+
+    def on_step_end(
+        self,
+        trainer: "Trainer",
+        state: "TrainState",
+        metrics: Mapping[str, float],
+    ) -> None:
+        pass
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        pass
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        pass
+
+
+def trace_is_flat(trace: Sequence[float], window: int, tol: float) -> bool:
+    """True when the last two ``window``-epoch means differ by < ``tol``.
+
+    The relative comparison is scaled by the earlier window's mean magnitude
+    (floored at 1e-8) — exactly the flatness test of ``CPGAN._converged``.
+    """
+    if len(trace) < 2 * window:
+        return False
+    recent = np.asarray(trace[-window:])
+    previous = np.asarray(trace[-2 * window : -window])
+    scale = max(abs(previous.mean()), 1e-8)
+    return abs(recent.mean() - previous.mean()) / scale < tol
+
+
+class ConvergenceStopping(Callback):
+    """Stop when every monitored loss trace is flat (§III-F2 stopping rule).
+
+    ``monitors`` names the history traces that must all be flat over the
+    last ``patience`` epochs.  Traces listed in ``skip_if_zero`` count as
+    converged while identically zero (CPGAN's ``L_clus`` is zero for the
+    no-hierarchy ablations, which must not block stopping).
+    """
+
+    def __init__(
+        self,
+        monitors: Sequence[str] = ("loss",),
+        patience: int = 30,
+        tol: float = 0.02,
+        skip_if_zero: Sequence[str] = (),
+    ) -> None:
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.monitors = tuple(monitors)
+        self.patience = patience
+        self.tol = tol
+        self.skip_if_zero = frozenset(skip_if_zero)
+
+    def converged(self, history: Mapping[str, Sequence[float]]) -> bool:
+        for name in self.monitors:
+            trace = history.get(name, ())
+            if name in self.skip_if_zero and not any(
+                v != 0.0 for v in trace
+            ):
+                continue
+            if not trace_is_flat(trace, self.patience, self.tol):
+                return False
+        return True
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        if self.converged(state.history):
+            state.stop_training = True
+            state.stop_reason = "converged"
+
+
+class JsonlRunLog(Callback):
+    """Append-mode JSONL run telemetry: fit_start / epoch / fit_end events.
+
+    Each epoch line carries the epoch index, its wall time, and the metric
+    values.  Lines are flushed as written so the log survives a kill; resumed
+    runs append to the same file, giving one contiguous record per run id.
+    """
+
+    def __init__(self, path: str | Path, meta: Mapping | None = None) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._handle = None
+
+    def _write(self, record: Mapping) -> None:
+        if self._handle is None:  # fired outside a fit (defensive)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record) + "\n")
+            return
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def on_fit_start(self, trainer: "Trainer", state: "TrainState") -> None:
+        self._handle = self.path.open("a")
+        self._write(
+            {
+                "event": "fit_start",
+                "start_epoch": state.epoch,
+                "target_epochs": state.target_epochs,
+                **self.meta,
+            }
+        )
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        self._write(
+            {
+                "event": "epoch",
+                "epoch": state.epoch,
+                "duration_s": state.epoch_durations[-1],
+                "metrics": state.last_metrics,
+            }
+        )
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        self._write(
+            {
+                "event": "fit_end",
+                "epoch": state.epoch,
+                "stop_reason": state.stop_reason,
+            }
+        )
+        self._handle.close()
+        self._handle = None
+
+
+class Checkpoint(Callback):
+    """Write a resumable checkpoint every ``every`` completed epochs.
+
+    ``save`` is a callable ``(path, state) -> None``; when omitted the
+    trainer's ``checkpoint_fn`` (supplied by the model) is used.  A literal
+    ``{epoch}`` in the path is replaced with the epoch number, keeping every
+    checkpoint instead of overwriting one file.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        every: int = 1,
+        save: Callable[[Path, "TrainState"], None] | None = None,
+        at_fit_end: bool = False,
+    ) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.path = str(path)
+        self.every = every
+        self.save = save
+        self.at_fit_end = at_fit_end
+
+    def _save(self, trainer: "Trainer", state: "TrainState") -> None:
+        fn = self.save or trainer.checkpoint_fn
+        if fn is None:
+            raise RuntimeError(
+                "Checkpoint callback needs a save function: pass save= or "
+                "construct the Trainer with checkpoint_fn="
+            )
+        fn(Path(self.path.format(epoch=state.epoch)), state)
+
+    def on_epoch_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        if state.epoch % self.every == 0:
+            self._save(trainer, state)
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        if self.at_fit_end and state.epoch % self.every != 0:
+            self._save(trainer, state)
+
+
+class EpochTimer(Callback):
+    """Mean/std view over the trainer's per-epoch wall times.
+
+    ``skip`` drops leading warm-up epochs (first-epoch sparse-structure
+    setup) from the aggregate — this is what the hot-path perf harness reads
+    instead of wrapping the loop in ad-hoc timers.
+    """
+
+    def __init__(self, skip: int = 0) -> None:
+        self.skip = skip
+        self.durations: list[float] = []
+
+    def on_fit_end(self, trainer: "Trainer", state: "TrainState") -> None:
+        self.durations = list(state.epoch_durations[self.skip :])
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.durations)) if self.durations else 0.0
+
+    @property
+    def std_s(self) -> float:
+        return float(np.std(self.durations)) if self.durations else 0.0

@@ -1,0 +1,85 @@
+"""Mutable training-run state shared between a model, the Trainer and callbacks.
+
+``TrainState`` is the single source of truth for everything the epoch loop
+accumulates: completed-epoch count, per-metric loss traces, per-epoch wall
+times, and the stop flag callbacks raise to end training early.  Models keep
+a reference to it across ``fit`` calls so training *continues* instead of
+silently restarting, and checkpoints serialise it so a killed run resumes
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trainer import Trainer
+
+__all__ = ["TrainState"]
+
+
+@dataclass
+class TrainState:
+    """Accumulated state of one training run.
+
+    ``epoch`` counts *completed* epochs; inside ``on_epoch_end`` the history
+    traces therefore hold exactly ``epoch`` entries.  ``history`` maps metric
+    name to its per-epoch trace — models expose these lists directly (e.g.
+    ``CPGAN.history.total`` *is* ``state.history["total"]``), so recording a
+    metric updates every view at once.
+    """
+
+    epoch: int = 0
+    global_step: int = 0
+    target_epochs: int = 0
+    history: dict[str, list[float]] = field(default_factory=dict)
+    epoch_durations: list[float] = field(default_factory=list)
+    last_metrics: dict[str, float] = field(default_factory=dict)
+    stop_training: bool = False
+    stop_reason: str | None = None
+    _trainer: "Trainer | None" = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def trace(self, name: str) -> list[float]:
+        """The per-epoch trace for ``name`` (created empty on first use)."""
+        return self.history.setdefault(name, [])
+
+    def record(self, metrics: Mapping[str, float], duration_s: float) -> None:
+        """Append one epoch's metrics and wall time to the traces."""
+        self.last_metrics = {k: float(v) for k, v in metrics.items()}
+        for name, value in self.last_metrics.items():
+            self.trace(name).append(value)
+        self.epoch_durations.append(float(duration_s))
+
+    def step(self, metrics: Mapping[str, float] | None = None) -> None:
+        """Mark one inner optimisation step (fires ``on_step_end``).
+
+        Epoch bodies with sub-epoch granularity (GraphRNN chunks, GRAN
+        blocks, DeepGMG node decisions) call this so step-level callbacks
+        see every optimizer update, not just epoch boundaries.
+        """
+        self.global_step += 1
+        if self._trainer is not None:
+            self._trainer._emit_step(self, dict(metrics or {}))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready copy of the serialisable fields (for checkpoints)."""
+        return {
+            "epoch": self.epoch,
+            "global_step": self.global_step,
+            "history": {k: list(v) for k, v in self.history.items()},
+            "epoch_durations": list(self.epoch_durations),
+        }
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Load a :meth:`snapshot`, preserving existing trace list objects."""
+        self.epoch = int(snapshot["epoch"])
+        self.global_step = int(snapshot["global_step"])
+        for name, values in snapshot["history"].items():
+            trace = self.trace(name)
+            trace[:] = [float(v) for v in values]
+        self.epoch_durations[:] = [float(v) for v in snapshot["epoch_durations"]]
+        self.stop_training = False
+        self.stop_reason = None

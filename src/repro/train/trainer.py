@@ -1,0 +1,89 @@
+"""The shared epoch-loop engine driving CPGAN and every learned baseline.
+
+The Trainer owns exactly the scaffolding the nine models used to duplicate:
+the epoch loop, per-epoch wall-clock timing, metric recording into
+:class:`~repro.train.state.TrainState`, callback dispatch, and the stop
+flag.  The *model* supplies a single ``epoch_fn(state) -> metrics`` closure
+holding its forward/backward/optimizer step — the Trainer never touches
+model internals, so any RNG the closure uses is consumed in exactly the
+same order as a hand-rolled loop (same-seed traces stay bit-identical).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping
+
+from .callbacks import Callback
+from .state import TrainState
+
+__all__ = ["Trainer"]
+
+EpochFn = Callable[[TrainState], "Mapping[str, float] | None"]
+
+
+class Trainer:
+    """Drive ``epoch_fn`` for up to ``max_epochs`` epochs with callbacks.
+
+    ``fit`` may be called repeatedly with the same state: each call runs
+    ``max_epochs`` *further* epochs (continuation), or up to the absolute
+    ``target_epochs`` when given (checkpoint resume).  ``checkpoint_fn`` is
+    the model-provided ``(path, state) -> None`` serialiser the stock
+    :class:`~repro.train.callbacks.Checkpoint` callback uses.
+    """
+
+    def __init__(
+        self,
+        max_epochs: int,
+        callbacks: Iterable[Callback] = (),
+        checkpoint_fn: Callable | None = None,
+    ) -> None:
+        if max_epochs < 0:
+            raise ValueError("max_epochs must be non-negative")
+        self.max_epochs = max_epochs
+        self.callbacks = list(callbacks)
+        self.checkpoint_fn = checkpoint_fn
+
+    # ------------------------------------------------------------------
+    def _emit(self, hook: str, state: TrainState) -> None:
+        for callback in self.callbacks:
+            getattr(callback, hook)(self, state)
+
+    def _emit_step(self, state: TrainState, metrics: dict) -> None:
+        for callback in self.callbacks:
+            callback.on_step_end(self, state, metrics)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        epoch_fn: EpochFn,
+        state: TrainState | None = None,
+        target_epochs: int | None = None,
+    ) -> TrainState:
+        """Run the epoch loop; returns the (possibly shared) state."""
+        state = state if state is not None else TrainState()
+        state.stop_training = False
+        state.stop_reason = None
+        state._trainer = self
+        target = (
+            state.epoch + self.max_epochs
+            if target_epochs is None
+            else target_epochs
+        )
+        state.target_epochs = target
+        self._emit("on_fit_start", state)
+        try:
+            while state.epoch < target and not state.stop_training:
+                self._emit("on_epoch_start", state)
+                start = time.perf_counter()
+                metrics = epoch_fn(state)
+                duration = time.perf_counter() - start
+                state.record(metrics or {}, duration)
+                state.epoch += 1
+                self._emit("on_epoch_end", state)
+            if state.stop_reason is None:
+                state.stop_reason = "max_epochs"
+            self._emit("on_fit_end", state)
+        finally:
+            state._trainer = None
+        return state

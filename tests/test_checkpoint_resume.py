@@ -1,0 +1,147 @@
+"""Checkpoint/resume and bit-identity guarantees of the CPGAN fit loop.
+
+Three invariants from the training-engine refactor:
+
+* same-seed fits reproduce the committed pre-refactor loss traces
+  bit-for-bit (``tests/data/cpgan_golden_trace.json``);
+* repeated ``fit`` calls *continue* training instead of silently
+  restarting from scratch;
+* a run killed mid-training and resumed from its checkpoint finishes with
+  exactly the traces (and generated graph) of the uninterrupted run.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN, CPGANConfig
+from repro.core.persistence import restore_training_checkpoint
+from repro.datasets import community_graph
+
+GOLDEN = Path(__file__).parent / "data" / "cpgan_golden_trace.json"
+
+
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def golden_graph(spec):
+    graph, __ = community_graph(
+        spec["nodes"], spec["communities"], spec["avg_degree"],
+        seed=spec["seed"],
+    )
+    return graph
+
+
+def hex_traces(model):
+    return {
+        name: [v.hex() for v in trace]
+        for name, trace in model.history.as_dict().items()
+    }
+
+
+class TestGoldenTrace:
+    def test_fit_reproduces_pre_refactor_traces_bitwise(self):
+        doc = golden()
+        model = CPGAN(CPGANConfig(**doc["config"]))
+        model.fit(golden_graph(doc["graph"]))
+        assert hex_traces(model) == doc["traces"]
+
+
+class TestFitContinuation:
+    def test_second_fit_continues_not_restarts(self):
+        doc = golden()
+        graph = golden_graph(doc["graph"])
+        config = CPGANConfig(**doc["config"])
+        model = CPGAN(config)
+        model.fit(graph)
+        first = [v.hex() for v in model.history.total]
+        model.fit(graph)
+        assert len(model.history.total) == 2 * config.epochs
+        # The first half is untouched; the second half is *new* epochs (the
+        # optimizer/RNG state carried over, so it differs from the first).
+        assert [v.hex() for v in model.history.total[: config.epochs]] == first
+        assert [
+            v.hex() for v in model.history.total[config.epochs :]
+        ] != first
+
+    def test_new_graph_object_starts_fresh_session(self):
+        doc = golden()
+        config = CPGANConfig(**doc["config"])
+        model = CPGAN(config)
+        model.fit(golden_graph(doc["graph"]))
+        first_session = model._session
+        # Fitting a *different* graph object restarts the session (fresh
+        # RNG/optimizers at epoch 0); history keeps accumulating as the
+        # model's weights carry over.
+        model.fit(golden_graph(doc["graph"]))
+        assert model._session is not first_session
+        assert model._session.state.epoch == config.epochs
+        assert len(model.history.total) == 2 * config.epochs
+
+
+class TestKillAndResume:
+    def test_restore_picks_up_at_checkpoint_epoch(self, tmp_path):
+        doc = golden()
+        config = CPGANConfig(**doc["config"])
+        graph = golden_graph(doc["graph"])
+        ckpt = tmp_path / "ckpt_{epoch}.npz"
+        CPGAN(config).fit(graph, checkpoint_path=ckpt, checkpoint_every=5)
+        restored = CPGAN()
+        restore_training_checkpoint(restored, tmp_path / "ckpt_5.npz")
+        assert restored._session.state.epoch == 5
+        assert len(restored.history.total) == 5
+        # Resuming with the original graph object passed explicitly also
+        # works — the checkpoint verifies it matches the stored edges.
+        resumed = CPGAN().fit(graph, resume_from=tmp_path / "ckpt_5.npz")
+        assert len(resumed.history.total) == config.epochs
+
+    def test_resume_bitwise_identical_with_mid_run_checkpoint(
+        self, tmp_path
+    ):
+        doc = golden()
+        config = CPGANConfig(**doc["config"])
+        graph = golden_graph(doc["graph"])
+
+        reference = CPGAN(config).fit(graph)
+        ref_traces = hex_traces(reference)
+        ref_graph = reference.generate(seed=7)
+
+        # Run the *full-epoch* config but checkpoint every 5 epochs and
+        # abort by limiting the trainer through a callback-free partial
+        # run: emulate the kill by restoring from the epoch-5 checkpoint.
+        ckpt = tmp_path / "ckpt_{epoch}.npz"
+        CPGAN(config).fit(graph, checkpoint_path=ckpt, checkpoint_every=5)
+        mid = tmp_path / "ckpt_5.npz"
+        assert mid.exists()
+
+        resumed = CPGAN()
+        resumed.fit(resume_from=mid)  # graph restored from the checkpoint
+        assert resumed.config.epochs == config.epochs
+        assert len(resumed.history.total) == config.epochs
+        assert hex_traces(resumed) == ref_traces
+
+        gen = resumed.generate(seed=7)
+        assert np.array_equal(
+            gen.edge_array(), ref_graph.edge_array()
+        )
+
+    def test_resume_verifies_graph_matches(self, tmp_path):
+        doc = golden()
+        config = CPGANConfig(**doc["config"])
+        graph = golden_graph(doc["graph"])
+        path = tmp_path / "ckpt.npz"
+        model = CPGAN(config).fit(graph, checkpoint_path=path)
+        other, __ = community_graph(40, 2, 4.0, seed=3)
+        with pytest.raises(ValueError):
+            restore_training_checkpoint(CPGAN(), path, other)
+
+    def test_checkpoint_requires_live_session(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            CPGAN().save_training_checkpoint(tmp_path / "nope.npz")
+
+    def test_fit_without_graph_or_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            CPGAN().fit()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -104,6 +106,71 @@ class TestFitGenerateEvaluate:
         write_edge_list(other, other_path)
         assert main(["evaluate", str(graph_file), str(other_path)]) == 0
         assert "skipped" in capsys.readouterr().out
+
+
+class TestFitTrainingEngineFlags:
+    FIT_ARGS = ["--hidden-dim", "16", "--latent-dim", "8", "--sample-size", "80"]
+
+    def test_run_log_and_checkpoints(self, graph_file, tmp_path):
+        model_path = tmp_path / "model.npz"
+        run_log = tmp_path / "run.jsonl"
+        ckpt = tmp_path / "ckpt_{epoch}.npz"
+        assert main(
+            [
+                "fit", str(graph_file), "-o", str(model_path),
+                "--epochs", "6", *self.FIT_ARGS,
+                "--run-log", str(run_log),
+                "--checkpoint-path", str(ckpt), "--checkpoint-every", "3",
+            ]
+        ) == 0
+        assert (tmp_path / "ckpt_3.npz").exists()
+        assert (tmp_path / "ckpt_6.npz").exists()
+        lines = [json.loads(l) for l in run_log.read_text().splitlines()]
+        events = [l["event"] for l in lines]
+        assert events[0] == "fit_start"
+        assert events[-1] == "fit_end"
+        assert events.count("epoch") == 6
+
+    def test_resume_round_trip(self, graph_file, tmp_path, capsys):
+        # Full run's model is the reference.
+        full_model = tmp_path / "full.npz"
+        main(
+            [
+                "fit", str(graph_file), "-o", str(full_model),
+                "--epochs", "6", *self.FIT_ARGS,
+            ]
+        )
+        full_out = tmp_path / "full_gen.txt"
+        main(["generate", str(full_model), "-o", str(full_out), "--seed", "3"])
+
+        # Same run, checkpointed every 3 epochs — resume from the midpoint
+        # in a separate invocation and finish the remaining epochs.
+        mid_model = tmp_path / "mid.npz"
+        main(
+            [
+                "fit", str(graph_file), "-o", str(mid_model),
+                "--epochs", "6", *self.FIT_ARGS,
+                "--checkpoint-path", str(tmp_path / "c_{epoch}.npz"),
+                "--checkpoint-every", "3",
+            ]
+        )
+        resumed_model = tmp_path / "resumed.npz"
+        assert main(
+            [
+                "fit", str(graph_file), "-o", str(resumed_model),
+                "--resume", str(tmp_path / "c_3.npz"),
+            ]
+        ) == 0
+        assert "Resuming" in capsys.readouterr().out
+        resumed_out = tmp_path / "resumed_gen.txt"
+        main(
+            ["generate", str(resumed_model), "-o", str(resumed_out),
+             "--seed", "3"]
+        )
+        assert full_out.read_text() == resumed_out.read_text()
+
+        # And the resumed model still evaluates cleanly.
+        assert main(["evaluate", str(graph_file), str(resumed_out)]) == 0
 
 
 class TestParser:

@@ -1,0 +1,329 @@
+"""Tests for the shared training engine (repro.train)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN
+from repro.datasets import community_graph
+from repro.train import (
+    Callback,
+    Checkpoint,
+    ConvergenceStopping,
+    EpochTimer,
+    JsonlRunLog,
+    Trainer,
+    TrainState,
+    trace_is_flat,
+)
+
+
+def constant_epoch_fn(value=1.0):
+    def epoch_fn(state):
+        return {"loss": value}
+
+    return epoch_fn
+
+
+class TestTrainerBasics:
+    def test_runs_max_epochs(self):
+        state = Trainer(max_epochs=5).fit(constant_epoch_fn())
+        assert state.epoch == 5
+        assert state.history["loss"] == [1.0] * 5
+        assert state.stop_reason == "max_epochs"
+        assert len(state.epoch_durations) == 5
+
+    def test_repeated_fit_continues(self):
+        trainer = Trainer(max_epochs=3)
+        state = trainer.fit(constant_epoch_fn())
+        trainer.fit(constant_epoch_fn(), state=state)
+        assert state.epoch == 6
+        assert state.history["loss"] == [1.0] * 6
+
+    def test_absolute_target_epochs(self):
+        state = Trainer(max_epochs=10).fit(constant_epoch_fn())
+        # Resuming to the same absolute target is a no-op.
+        Trainer(max_epochs=10).fit(
+            constant_epoch_fn(), state=state, target_epochs=10
+        )
+        assert state.epoch == 10
+        Trainer(max_epochs=10).fit(
+            constant_epoch_fn(), state=state, target_epochs=12
+        )
+        assert state.epoch == 12
+
+    def test_negative_max_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(max_epochs=-1)
+
+    def test_epoch_fn_may_return_none(self):
+        state = Trainer(max_epochs=2).fit(lambda state: None)
+        assert state.epoch == 2
+        assert state.history == {}
+
+    def test_hooks_fire_in_order(self):
+        events = []
+
+        class Recorder(Callback):
+            def on_fit_start(self, trainer, state):
+                events.append("fit_start")
+
+            def on_epoch_start(self, trainer, state):
+                events.append("epoch_start")
+
+            def on_epoch_end(self, trainer, state):
+                events.append("epoch_end")
+
+            def on_fit_end(self, trainer, state):
+                events.append("fit_end")
+
+        Trainer(max_epochs=2, callbacks=[Recorder()]).fit(constant_epoch_fn())
+        assert events == [
+            "fit_start",
+            "epoch_start", "epoch_end",
+            "epoch_start", "epoch_end",
+            "fit_end",
+        ]
+
+    def test_step_hook_fires_per_inner_step(self):
+        seen = []
+
+        class StepRecorder(Callback):
+            def on_step_end(self, trainer, state, metrics):
+                seen.append((state.global_step, dict(metrics)))
+
+        def epoch_fn(state):
+            for k in range(3):
+                state.step({"chunk_loss": float(k)})
+            return {"loss": 0.0}
+
+        state = Trainer(max_epochs=2, callbacks=[StepRecorder()]).fit(epoch_fn)
+        assert state.global_step == 6
+        assert len(seen) == 6
+        assert seen[0] == (1, {"chunk_loss": 0.0})
+        assert seen[-1] == (6, {"chunk_loss": 2.0})
+
+    def test_step_outside_trainer_is_safe(self):
+        state = TrainState()
+        state.step({"loss": 1.0})  # no trainer attached: counts, no dispatch
+        assert state.global_step == 1
+
+    def test_callback_stop_ends_training(self):
+        class StopAtThree(Callback):
+            def on_epoch_end(self, trainer, state):
+                if state.epoch >= 3:
+                    state.stop_training = True
+                    state.stop_reason = "test"
+
+        state = Trainer(max_epochs=100, callbacks=[StopAtThree()]).fit(
+            constant_epoch_fn()
+        )
+        assert state.epoch == 3
+        assert state.stop_reason == "test"
+
+
+class TestTrainStateSnapshot:
+    def test_roundtrip_preserves_list_identity(self):
+        state = Trainer(max_epochs=4).fit(constant_epoch_fn(2.0))
+        snap = state.snapshot()
+        fresh = TrainState()
+        trace = fresh.trace("loss")  # external view taken before restore
+        fresh.restore(snap)
+        assert fresh.epoch == 4
+        assert fresh.history["loss"] == [2.0] * 4
+        assert fresh.history["loss"] is trace  # same list object updated
+
+    def test_snapshot_is_json_serialisable(self):
+        state = Trainer(max_epochs=2).fit(constant_epoch_fn())
+        json.dumps(state.snapshot())
+
+
+class TestTraceIsFlat:
+    def test_needs_two_windows(self):
+        assert not trace_is_flat([1.0] * 9, window=5, tol=0.1)
+        assert trace_is_flat([1.0] * 10, window=5, tol=0.1)
+
+    def test_flat_trace_is_flat(self):
+        assert trace_is_flat([3.0] * 20, window=10, tol=0.02)
+
+    def test_diverging_trace_is_not_flat(self):
+        trace = [float(2**k) for k in range(20)]
+        assert not trace_is_flat(trace, window=10, tol=0.02)
+
+    def test_all_zero_trace_is_flat(self):
+        # Scale floor (1e-8) keeps the zero trace from dividing by zero.
+        assert trace_is_flat([0.0] * 20, window=10, tol=0.02)
+
+
+class TestConvergenceStopping:
+    def test_flat_trace_converges(self):
+        cb = ConvergenceStopping(monitors=("loss",), patience=5, tol=0.02)
+        assert cb.converged({"loss": [1.0] * 10})
+
+    def test_diverging_trace_does_not_converge(self):
+        cb = ConvergenceStopping(monitors=("loss",), patience=5, tol=0.02)
+        trace = [1.0 + 0.5 * k for k in range(10)]
+        assert not cb.converged({"loss": trace})
+
+    def test_drifting_oscillation_does_not_converge(self):
+        # Window means only differ if the oscillation drifts across the two
+        # windows; a linear drift plus wiggle keeps the rule from firing.
+        cb = ConvergenceStopping(monitors=("loss",), patience=5, tol=0.02)
+        trace = [
+            1.0 + 0.2 * k + 0.05 * ((-1) ** k) for k in range(10)
+        ]
+        assert not cb.converged({"loss": trace})
+
+    def test_missing_trace_does_not_converge(self):
+        cb = ConvergenceStopping(monitors=("loss",), patience=5)
+        assert not cb.converged({})
+
+    def test_all_monitors_must_be_flat(self):
+        cb = ConvergenceStopping(monitors=("a", "b"), patience=5, tol=0.02)
+        flat = [1.0] * 10
+        rising = [float(k) for k in range(10)]
+        assert not cb.converged({"a": flat, "b": rising})
+        assert cb.converged({"a": flat, "b": flat})
+
+    def test_skip_if_zero_trace_counts_as_converged(self):
+        cb = ConvergenceStopping(
+            monitors=("a", "b"), patience=5, tol=0.02, skip_if_zero=("b",)
+        )
+        assert cb.converged({"a": [1.0] * 10, "b": [0.0] * 3})
+        # A nonzero entry re-activates the monitor.
+        assert not cb.converged(
+            {"a": [1.0] * 10, "b": [0.0, 1.0, 2.0, 3.0]}
+        )
+
+    def test_stops_training_via_hook(self):
+        cb = ConvergenceStopping(monitors=("loss",), patience=3, tol=0.02)
+        state = Trainer(max_epochs=100, callbacks=[cb]).fit(constant_epoch_fn())
+        assert state.epoch == 6  # exactly two patience windows
+        assert state.stop_reason == "converged"
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceStopping(patience=0)
+
+    def test_matches_cpgan_converged(self):
+        """The callback is the extracted CPGAN._converged rule."""
+        model = CPGAN()
+        assert not model._converged()
+        flat = [1.0] * (2 * model.config.patience)
+        model.history.clustering[:] = flat
+        model.history.discriminator[:] = flat
+        assert model._converged()
+        model.history.discriminator[:] = [
+            float(k) for k in range(2 * model.config.patience)
+        ]
+        assert not model._converged()
+
+
+class TestJsonlRunLog:
+    def test_writes_fit_epoch_and_end_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = JsonlRunLog(path, meta={"model": "toy"})
+        Trainer(max_epochs=3, callbacks=[log]).fit(constant_epoch_fn(0.5))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["event"] for l in lines] == [
+            "fit_start", "epoch", "epoch", "epoch", "fit_end"
+        ]
+        assert lines[0]["model"] == "toy"
+        assert lines[0]["target_epochs"] == 3
+        assert lines[1]["epoch"] == 1
+        assert lines[1]["metrics"] == {"loss": 0.5}
+        assert lines[-1]["stop_reason"] == "max_epochs"
+
+    def test_resumed_run_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        state = Trainer(max_epochs=2, callbacks=[JsonlRunLog(path)]).fit(
+            constant_epoch_fn()
+        )
+        Trainer(max_epochs=2, callbacks=[JsonlRunLog(path)]).fit(
+            constant_epoch_fn(), state=state
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        starts = [l for l in lines if l["event"] == "fit_start"]
+        assert [l["start_epoch"] for l in starts] == [0, 2]
+
+
+class TestCheckpointCallback:
+    def test_cadence_and_epoch_template(self, tmp_path):
+        saved = []
+        cb = Checkpoint(
+            str(tmp_path / "ckpt_{epoch}.npz"),
+            every=2,
+            save=lambda path, state: saved.append(path.name),
+        )
+        Trainer(max_epochs=5, callbacks=[cb]).fit(constant_epoch_fn())
+        assert saved == ["ckpt_2.npz", "ckpt_4.npz"]
+
+    def test_at_fit_end_covers_final_epoch(self, tmp_path):
+        saved = []
+        cb = Checkpoint(
+            str(tmp_path / "last.npz"),
+            every=2,
+            save=lambda path, state: saved.append(path.name),
+            at_fit_end=True,
+        )
+        Trainer(max_epochs=5, callbacks=[cb]).fit(constant_epoch_fn())
+        assert saved == ["last.npz", "last.npz", "last.npz"]
+
+    def test_missing_save_function_raises(self):
+        cb = Checkpoint("x.npz", every=1)
+        with pytest.raises(RuntimeError):
+            Trainer(max_epochs=1, callbacks=[cb]).fit(constant_epoch_fn())
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint("x.npz", every=0)
+
+
+class TestEpochTimer:
+    def test_aggregates_with_skip(self):
+        timer = EpochTimer(skip=1)
+        Trainer(max_epochs=4, callbacks=[timer]).fit(constant_epoch_fn())
+        assert len(timer.durations) == 3
+        assert timer.mean_s >= 0.0
+        assert timer.std_s >= 0.0
+
+    def test_empty_durations_are_zero(self):
+        timer = EpochTimer()
+        assert timer.mean_s == 0.0
+        assert timer.std_s == 0.0
+
+
+class TestBaselineIntegration:
+    def test_vgae_losses_come_from_trainer_state(self):
+        from repro.baselines.learned import VGAE
+
+        graph, __ = community_graph(30, 2, 4.0, seed=0)
+        events = []
+
+        class Recorder(Callback):
+            def on_epoch_end(self, trainer, state):
+                events.append(state.last_metrics["loss"])
+
+        model = VGAE(epochs=3, feature_dim=4, hidden_dim=8, latent_dim=4)
+        model.fit(graph, callbacks=(Recorder(),))
+        assert len(model.losses) == 3
+        assert events == model.losses
+
+    def test_graphrnn_step_hook_sees_chunks(self):
+        from repro.baselines.learned import GraphRNNS
+
+        graph, __ = community_graph(30, 2, 4.0, seed=0)
+        steps = []
+
+        class StepRecorder(Callback):
+            def on_step_end(self, trainer, state, metrics):
+                steps.append(metrics["loss"])
+
+        model = GraphRNNS(epochs=2, hidden_dim=8)
+        model.fit(graph, callbacks=(StepRecorder(),))
+        assert len(model.losses) == 2
+        assert len(steps) >= 2  # at least one chunk per epoch
+        assert np.isclose(
+            np.mean(steps[: len(steps) // 2]), model.losses[0]
+        )
