@@ -10,6 +10,7 @@ Scale knobs: ``REPRO_SCALE`` ∈ {small (default), medium, full} and
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -21,7 +22,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def settings() -> BenchSettings:
-    return settings_from_env()
+    # Every autograd-trained experiment leaves its per-epoch JSONL run log
+    # next to the table it contributed to.
+    return replace(settings_from_env(), run_log_dir=RESULTS_DIR / "run_logs")
 
 
 class TableWriter:

@@ -18,8 +18,10 @@ Environment knobs:
 
 from __future__ import annotations
 
+import inspect
 import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -75,6 +77,9 @@ class BenchSettings:
     seeds: int
     datasets: tuple[str, ...]
     label: str
+    #: When set, every autograd-trained experiment writes per-epoch JSONL
+    #: run telemetry (``repro.train.JsonlRunLog``) into this directory.
+    run_log_dir: Path | None = None
 
     @property
     def budget(self) -> int:
@@ -221,6 +226,29 @@ class QualityCell:
         )
 
 
+def _run_log_kwargs(
+    model: GraphGenerator,
+    model_name: str,
+    dataset: Dataset,
+    settings: BenchSettings,
+) -> dict:
+    """Extra ``fit`` kwargs wiring per-epoch JSONL telemetry, when possible.
+
+    Only autograd-trained models go through the shared
+    :class:`repro.train.Trainer`, and only those whose ``fit`` exposes a
+    ``run_log_path`` hook can record one — traditional closed-form
+    generators have no epochs to log.
+    """
+    if settings.run_log_dir is None or not model.uses_autograd_training:
+        return {}
+    if "run_log_path" not in inspect.signature(model.fit).parameters:
+        return {}
+    log_dir = Path(settings.run_log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{model_name}__{dataset.name}__{settings.label}".replace("/", "-")
+    return {"run_log_path": log_dir / f"{stem}.jsonl"}
+
+
 def _generate_with_guard(
     model_name: str,
     dataset: Dataset,
@@ -234,7 +262,10 @@ def _generate_with_guard(
     model = make_model(model_name, settings)
     try:
         check_memory(model, dataset.graph.num_nodes, settings.budget)
-        model.fit(dataset.graph)
+        model.fit(
+            dataset.graph,
+            **_run_log_kwargs(model, model_name, dataset, settings),
+        )
         return [model.generate(seed=s) for s in seeds]
     except MemoryBudgetExceeded:
         return None

@@ -62,6 +62,13 @@ class CPGANConfig:
     assembly_strategy: str = "categorical_topk"    # §III-G
     latent_source: str = "posterior"  # "posterior" | "prior"
     noise_scale: float = 1.0   # temperature on the posterior σ at generation
+    generation_mode: str = "sparse"  # "sparse" = candidate-pruned top-k
+    #   pipeline (O(block·n + K) memory, the default); "dense" = the O(n²)
+    #   reference decode, only allowed below the dense generation limit.
+    #   "bernoulli" assembly always uses the dense path (it needs the full
+    #   random matrix).
+    candidate_factor: float = 4.0  # K = candidate_factor × target_edges —
+    #   the sparse pipeline's candidate-buffer headroom over the edge budget
 
     seed: int = 0
 
@@ -74,6 +81,10 @@ class CPGANConfig:
             raise ValueError("latent_source must be 'posterior' or 'prior'")
         if self.pooling not in ("diffpool", "topk"):
             raise ValueError("pooling must be 'diffpool' or 'topk'")
+        if self.generation_mode not in ("sparse", "dense"):
+            raise ValueError("generation_mode must be 'sparse' or 'dense'")
+        if self.candidate_factor < 1.0:
+            raise ValueError("candidate_factor must be >= 1")
         if not self.use_hierarchy:
             self.num_levels = 1
 

@@ -16,9 +16,76 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..nn.tensor import _stable_sigmoid
 from .config import CPGANConfig
 
-__all__ = ["GraphDecoder"]
+__all__ = ["GraphDecoder", "topk_pair_candidates"]
+
+#: Rows per block in the chunked pairwise-scoring kernel.  Each block costs
+#: O(row_block · n) memory; 256 keeps the working set a few MB even at
+#: n ~ 100k while the matmuls stay large enough to amortise BLAS overhead.
+_SCORE_ROW_BLOCK = 256
+
+
+def topk_pair_candidates(
+    g: np.ndarray, k: int, row_block: int = _SCORE_ROW_BLOCK
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact global top-``k`` node pairs by decoder score, without the n×n.
+
+    Computes ``sigmoid(g @ g.T)`` in row-blocks and folds each block's
+    upper-triangle entries through ``np.argpartition`` into a bounded
+    candidate buffer, so peak additional memory is O(row_block · n + k)
+    instead of O(n²).  Returns ``(u, v, score)`` with ``u < v`` — the same
+    pairs the dense ``sigmoid(g @ g.T)[triu]`` top-k would produce; ties at
+    the k-th score are resolved toward the larger upper-triangle index,
+    matching the dense assembly path's historical ordering.  Scores are
+    bit-identical to the dense matrix entries when ``row_block >= n`` (one
+    block = the full matmul); with smaller blocks BLAS blocking can shift
+    individual scores by an ulp, which never changes the selected pairs in
+    practice.
+    """
+    from ..graphs.assembly import _fold_topk, _triu_rank
+
+    g = np.ascontiguousarray(np.asarray(g, dtype=float))
+    n = g.shape[0]
+    total_pairs = n * (n - 1) // 2
+    k = int(min(max(k, 0), total_pairs))
+    if k == 0:
+        empty = np.zeros(0)
+        return empty.astype(np.int64), empty.astype(np.int64), empty
+    buf_u: np.ndarray | None = None
+    buf_v: np.ndarray | None = None
+    buf_s: np.ndarray | None = None
+    for start in range(0, n - 1, row_block):
+        stop = min(start + row_block, n)
+        rows = np.arange(start, stop)
+        logits = g[start:stop] @ g.T
+        # Enumerate the block's upper-triangle pairs arithmetically (row r
+        # contributes columns r+1..n-1, row-major) — no n-wide boolean mask.
+        counts = n - rows - 1
+        u = np.repeat(rows, counts)
+        ends = np.cumsum(counts)
+        v = np.arange(int(ends[-1]), dtype=np.int64)
+        v -= np.repeat(ends - counts, counts)
+        v += u
+        v += 1
+        flat = u * n
+        flat -= start * n
+        flat += v
+        # Sigmoid only the upper-triangle entries (elementwise, so still
+        # bit-identical to transforming the full block) — half the work.
+        # The block logits and index scratch are dropped before the fold so
+        # at most three block-sized arrays are ever live at once.
+        s = logits.ravel()[flat]  # triu_indices order
+        del logits, flat
+        s = _stable_sigmoid(s, overwrite_input=True)
+        if buf_u is not None:
+            u = np.concatenate([buf_u, u])
+            v = np.concatenate([buf_v, v])
+            s = np.concatenate([buf_s, s])
+        keep = _fold_topk(s, lambda idx: _triu_rank(u[idx], v[idx], n), k)
+        buf_u, buf_v, buf_s = u[keep], v[keep], s[keep]
+    return buf_u, buf_v, buf_s
 
 
 class GraphDecoder(nn.Module):
@@ -71,3 +138,66 @@ class GraphDecoder(nn.Module):
         with nn.no_grad():
             tensors = [nn.Tensor(z) for z in latents]
             return self.forward(tensors).data
+
+    # ------------------------------------------------------------------
+    # NumPy inference fast path (no Tensor graph, no autograd bookkeeping).
+    # Each op mirrors the corresponding fused Tensor kernel's arithmetic
+    # exactly, so the results are bit-identical to the autograd forward —
+    # the sparse generation pipeline relies on this for its equivalence
+    # guarantee against ``decode_numpy``.
+    # ------------------------------------------------------------------
+    def node_features_numpy(self, latents: list[np.ndarray]) -> np.ndarray:
+        """NumPy-only twin of :meth:`node_features` for generation."""
+        if not latents:
+            raise ValueError("decoder needs at least one latent level")
+        if self.gru is not None:
+            gru = self.gru
+            hidden = gru.hidden_size
+            h = np.zeros((latents[0].shape[0], self.config.hidden_dim))
+            h_is_zero = True
+            for z in latents:
+                z = np.asarray(z, dtype=float)
+                gates = z @ gru.w_ih.data
+                if not h_is_zero:
+                    # h == 0 contributes exact zeros; skipping the matmuls
+                    # on the first level keeps the result bit-identical.
+                    gates += h @ gru.w_hh.data
+                gates += gru.b_gates.data
+                gates = _stable_sigmoid(gates, overwrite_input=True)
+                reset = gates[:, :hidden]
+                update = gates[:, hidden:]
+                candidate = z @ gru.w_in.data
+                if not h_is_zero:
+                    candidate += (reset * h) @ gru.w_hn.data
+                candidate += gru.b_cand.data
+                np.tanh(candidate, out=candidate)
+                # h' = update·h + (1−update)·candidate, with the temporaries
+                # reused in place (same multiplies and adds, same bits).
+                new_h = 1.0 - update
+                np.multiply(new_h, candidate, out=new_h)
+                if h_is_zero:
+                    h = new_h  # update·0 contributes exact zeros
+                else:
+                    scaled = update * h
+                    scaled += new_h
+                    h = scaled
+                h_is_zero = False
+            return h
+        merged = np.concatenate(
+            [np.asarray(z, dtype=float) for z in latents], axis=1
+        )
+        out = merged @ self.merge.weight.data
+        out += self.merge.bias.data
+        return np.maximum(out, 0.0)
+
+    def edge_features_numpy(self, latents: list[np.ndarray]) -> np.ndarray:
+        """g_θ(h_k) rows (Eq. 14's pre-dot-product features), NumPy-only."""
+        x = self.node_features_numpy(latents)
+        for layer in self.edge_mlp.layers[:-1]:
+            x = x @ layer.weight.data
+            x += layer.bias.data
+            x = np.maximum(x, 0.0)
+        final = self.edge_mlp.layers[-1]
+        x = x @ final.weight.data
+        x += final.bias.data
+        return x

@@ -35,9 +35,12 @@ from ..community import hierarchical_labels
 from ..graphs import (
     Graph,
     assemble_graph,
+    assemble_graph_sparse,
     sample_subgraph,
+    select_edges_sparse,
     spectral_embedding,
 )
+from ..nn.tensor import _stable_sigmoid
 from ..train import (
     Callback,
     Checkpoint,
@@ -47,7 +50,7 @@ from ..train import (
     TrainState,
 )
 from .config import CPGANConfig
-from .decoder import GraphDecoder
+from .decoder import GraphDecoder, topk_pair_candidates
 from .discriminator import Discriminator
 from .encoder import EncoderOutput, LadderEncoder
 from .variational import LatentDistributions, VariationalInference
@@ -424,7 +427,36 @@ class CPGAN(GraphGenerator):
         (identity-preserving — the paper's community-preservation protocol);
         set ``config.latent_source = 'prior'`` or pass a different
         ``num_nodes`` to sample from the latent distributions instead.
+
+        Generation runs through the candidate-pruned sparse pipeline
+        (chunked top-K scoring + sparse assembly, no n×n allocation) unless
+        ``config.generation_mode == 'dense'`` or the assembly strategy is
+        ``bernoulli``; the dense reference path is limited to
+        ``_DENSE_GENERATION_LIMIT`` nodes and produces the same graph as
+        the sparse pipeline for the same seed.
         """
+        n, target_edges, rng, latents = self._prepare_generation(
+            seed, num_nodes
+        )
+        strategy = self.config.assembly_strategy
+        if self._use_dense_generation(strategy):
+            return self._generate_dense(latents, n, target_edges, rng, strategy)
+        g = self.decoder.edge_features_numpy(latents)
+        return assemble_graph_sparse(
+            n,
+            self._sparse_candidates(g, target_edges),
+            target_edges,
+            rng,
+            strategy,
+            score_rows=self._score_rows_fn(g),
+            assume_unique=True,
+        )
+
+    # -- shared generation pipeline ------------------------------------
+    def _prepare_generation(
+        self, seed: int, num_nodes: int | None
+    ) -> tuple[int, int, np.random.Generator, list[np.ndarray]]:
+        """Latent sampling shared by in-memory and streamed generation."""
         observed = self._require_fitted()
         cfg = self.config
         rng = rng_from_seed(seed)
@@ -445,49 +477,56 @@ class CPGAN(GraphGenerator):
             )
         keep_identity = n == observed.num_nodes and cfg.latent_source == "posterior"
         latents = source.sample(n, rng, keep_identity=keep_identity)
-        if n <= _DENSE_GENERATION_LIMIT:
-            scores = self.decoder.decode_numpy(latents)
-            np.fill_diagonal(scores, 0.0)
-            return assemble_graph(
-                scores, target_edges, rng, cfg.assembly_strategy
-            )
-        return self._blockwise_generate(latents, n, target_edges, rng)
+        return n, target_edges, rng, latents
 
-    def _blockwise_generate(
+    def _use_dense_generation(self, strategy: str) -> bool:
+        """Bernoulli needs the full random matrix; 'dense' mode is the
+        explicit O(n²) reference."""
+        return strategy == "bernoulli" or self.config.generation_mode == "dense"
+
+    def _generate_dense(
         self,
         latents: list[np.ndarray],
         n: int,
         target_edges: int,
         rng: np.random.Generator,
+        strategy: str,
     ) -> Graph:
-        """Assemble A_out from sampled n_s × n_s score blocks (§III-G).
+        if n > _DENSE_GENERATION_LIMIT:
+            raise ValueError(
+                f"dense generation materialises an n×n matrix and is capped "
+                f"at {_DENSE_GENERATION_LIMIT} nodes (requested {n}); use "
+                f"generation_mode='sparse' with a sparse assembly strategy"
+            )
+        scores = self.decoder.decode_numpy(latents)
+        np.fill_diagonal(scores, 0.0)
+        return assemble_graph(scores, target_edges, rng, strategy)
 
-        Avoids the dense n×n matrix: repeatedly samples node blocks, decodes
-        their pairwise scores, and keeps each block's strongest edges until
-        the global edge budget is filled.
+    def _sparse_candidates(
+        self, g: np.ndarray, target_edges: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Top-K (u, v, score) triples from the chunked scoring kernel.
+
+        K = candidate_factor × target_edges bounds the buffer; the kernel
+        is exact, so any K ≥ target_edges reproduces the dense selection —
+        the headroom only exists so downstream consumers (diagnostics,
+        alternative strategies) see more than the bare minimum.
         """
-        block = max(self.config.sample_size, 512)
-        edges: set[tuple[int, int]] = set()
-        h = self._decode_node_features(latents)
-        num_blocks_needed = int(np.ceil(3.0 * target_edges / block))
-        quota_per_block = max(int(np.ceil(target_edges / num_blocks_needed)), 1)
-        guard = 0
-        while len(edges) < target_edges and guard < 20 * num_blocks_needed + 10:
-            guard += 1
-            nodes = rng.choice(n, size=min(block, n), replace=False)
-            g = h[nodes]
-            scores = 1.0 / (1.0 + np.exp(-(g @ g.T)))
-            np.fill_diagonal(scores, 0.0)
-            iu, ju = np.triu_indices(len(nodes), k=1)
-            vals = scores[iu, ju]
-            take = min(quota_per_block, target_edges - len(edges))
-            best = np.argpartition(vals, -take)[-take:]
-            for idx in best:
-                u, v = int(nodes[iu[idx]]), int(nodes[ju[idx]])
-                edges.add((min(u, v), max(u, v)))
-        return Graph.from_edges(
-            n, np.array(sorted(edges), dtype=np.int64)
-        )
+        k = int(np.ceil(self.config.candidate_factor * target_edges))
+        return topk_pair_candidates(g, max(k, target_edges))
+
+    def _score_rows_fn(self, g: np.ndarray):
+        """Row-scoring callback for the categorical repair pass.
+
+        Computes ``sigmoid(g[nodes] @ g.T)`` for just the requested nodes —
+        O(len(nodes) · n), never the full matrix.  Diagonal entries are left
+        as-is: the repair pass zeroes them itself.
+        """
+
+        def score_rows(nodes: np.ndarray) -> np.ndarray:
+            return _stable_sigmoid(g[nodes] @ g.T, overwrite_input=True)
+
+        return score_rows
 
     def generate_to_file(
         self,
@@ -500,74 +539,46 @@ class CPGAN(GraphGenerator):
 
         The paper notes CPGAN's simulation step still assumes the output
         graph fits in device memory and names out-of-core generation as
-        future work.  This implements it: blocks are decoded and their
-        edges appended to ``path`` incrementally, so peak memory stays at
-        O(n_s² + flush buffer) regardless of the output size.  Returns the
-        number of edges written.  Duplicate edges across blocks are
-        prevented with a spill-free probabilistic filter (block-local
-        exactness plus cross-block top-score ordering), so the edge count
-        is approximate within a few percent for very large graphs.
+        future work.  This implements it on the sparse pipeline: the
+        chunked kernel scores row-blocks into a bounded candidate buffer,
+        the shared selection core picks the final edge set, and edges are
+        appended to ``path`` in ``flush_every``-line batches — peak memory
+        is O(row_block · n + K) regardless of the output size.  The edge
+        set is exactly the one :meth:`generate` returns for the same seed,
+        and the returned count equals the number of edge lines written.
         """
         from pathlib import Path
 
-        observed = self._require_fitted()
-        cfg = self.config
-        rng = rng_from_seed(seed)
-        n = num_nodes or observed.num_nodes
-        target_edges = max(
-            1, int(round(observed.num_edges * n / observed.num_nodes))
+        n, target_edges, rng, latents = self._prepare_generation(
+            seed, num_nodes
         )
-        source = self._latents
-        if cfg.latent_source == "prior":
-            source = LatentDistributions.standard_prior(
-                self._latents.num_nodes, cfg.latent_dim, cfg.effective_levels
+        strategy = self.config.assembly_strategy
+        if self._use_dense_generation(strategy):
+            edges = self._generate_dense(
+                latents, n, target_edges, rng, strategy
+            ).edge_array()
+        else:
+            g = self.decoder.edge_features_numpy(latents)
+            edges = select_edges_sparse(
+                n,
+                self._sparse_candidates(g, target_edges),
+                target_edges,
+                rng,
+                strategy,
+                score_rows=self._score_rows_fn(g),
+                assume_unique=True,
             )
-        latents = source.sample(n, rng, keep_identity=n == observed.num_nodes)
-        h = self._decode_node_features(latents)
-        block = max(cfg.sample_size, 512)
-        written = 0
-        seen_hashes: set[int] = set()
         path = Path(path)
         with path.open("w") as handle:
             handle.write(f"# nodes: {n}\n")
-            buffer: list[str] = []
-            num_blocks = int(np.ceil(3.0 * target_edges / block))
-            quota = max(int(np.ceil(target_edges / num_blocks)), 1)
-            guard = 0
-            while written < target_edges and guard < 20 * num_blocks + 10:
-                guard += 1
-                nodes = rng.choice(n, size=min(block, n), replace=False)
-                g = h[nodes]
-                scores = g @ g.T
-                iu, ju = np.triu_indices(len(nodes), k=1)
-                vals = scores[iu, ju]
-                take = min(quota, target_edges - written)
-                added = 0
-                # Descending score order so already-written edges are skipped
-                # and the next-best candidates fill the quota instead.
-                for idx in np.argsort(vals)[::-1]:
-                    if added >= take:
-                        break
-                    u = int(nodes[iu[idx]])
-                    v = int(nodes[ju[idx]])
-                    key = min(u, v) * n + max(u, v)
-                    if key in seen_hashes:
-                        continue
-                    seen_hashes.add(key)
-                    buffer.append(f"{min(u, v)} {max(u, v)}\n")
-                    written += 1
-                    added += 1
-                    if len(buffer) >= flush_every:
-                        handle.writelines(buffer)
-                        buffer.clear()
-            handle.writelines(buffer)
-        return written
+            for start in range(0, len(edges), max(flush_every, 1)):
+                chunk = edges[start : start + max(flush_every, 1)]
+                handle.writelines(f"{u} {v}\n" for u, v in chunk.tolist())
+        return len(edges)
 
     def _decode_node_features(self, latents: list[np.ndarray]) -> np.ndarray:
-        """h_k -> g_θ(h_k) rows for blockwise scoring (NumPy, no grad)."""
-        with nn.no_grad():
-            h = self.decoder.node_features([nn.Tensor(z) for z in latents])
-            return self.decoder.edge_mlp(h).data
+        """h_k -> g_θ(h_k) rows for pairwise scoring (NumPy, no grad)."""
+        return self.decoder.edge_features_numpy(latents)
 
     # ------------------------------------------------------------------
     def edge_probabilities(self, pairs: np.ndarray, seed: int = 0) -> np.ndarray:

@@ -59,10 +59,20 @@ class LatentDistributions:
             rows = np.arange(num_nodes)
         else:
             rows = rng.integers(0, self.num_nodes, size=num_nodes)
-        return [
-            mu[rows] + sigma * rng.normal(size=(num_nodes, sigma.size))
-            for mu, sigma in zip(self.mus, self.sigmas)
-        ]
+        out: list[np.ndarray] = []
+        for mu, sigma in zip(self.mus, self.sigmas):
+            # standard_normal: same stream and bits as normal(), minus the
+            # per-sample loc/scale application.
+            eps = rng.standard_normal(size=(num_nodes, sigma.size))
+            if not mu.any() and not (sigma != 1.0).any():
+                # N(0, I) prior: mu[rows] + 1·eps == eps bit-for-bit, so
+                # skip the dead fancy-index / multiply / add.
+                out.append(eps)
+                continue
+            eps *= sigma
+            eps += mu[rows]
+            out.append(eps)
+        return out
 
     @classmethod
     def standard_prior(

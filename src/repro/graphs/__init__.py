@@ -1,6 +1,6 @@
 """``repro.graphs`` — graph data structure, statistics, sampling, assembly."""
 
-from .assembly import assemble_graph
+from .assembly import assemble_graph, assemble_graph_sparse, select_edges_sparse
 from .cores import core_numbers, core_size_profile, max_core
 from .graph import Graph
 from .io import read_edge_list, write_edge_list
@@ -24,6 +24,8 @@ from .stats import (
 __all__ = [
     "Graph",
     "assemble_graph",
+    "assemble_graph_sparse",
+    "select_edges_sparse",
     "read_edge_list",
     "write_edge_list",
     "degree_proportional_sample",

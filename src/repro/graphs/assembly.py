@@ -1,25 +1,50 @@
-"""Assemble a discrete graph from an edge-score matrix (paper §III-G).
+"""Assemble a discrete graph from edge scores (paper §III-G).
 
-The generator outputs a dense probability matrix ``A_out``.  Binarising it
-naively (global threshold, or independent Bernoulli draws) either drops
-low-degree nodes or produces high-variance graphs; the paper's strategy is:
+The generator outputs edge scores; binarising them naively (global
+threshold, or independent Bernoulli draws) either drops low-degree nodes or
+produces high-variance graphs.  The paper's strategy is:
 
 1. for every node ``i`` draw one incident edge from the categorical
    distribution given by row ``i`` of ``A_out`` (no isolated nodes), then
 2. add the remaining highest-scoring entries until a prescribed edge count
    is reached.
 
-``threshold`` and ``bernoulli`` strategies are kept for the assembly-strategy
-ablation bench.
+Two entry points share one vectorised selection core:
+
+* :func:`assemble_graph` — the dense reference: takes the full (n, n) score
+  matrix, extracts its top candidates with ``np.argpartition`` and runs the
+  shared core.  O(n²) memory by construction (it already holds the matrix).
+* :func:`assemble_graph_sparse` — takes pre-pruned ``(u, v, score)``
+  candidate triples (e.g. from the decoder's chunked top-k kernel) plus a
+  ``score_rows`` callback for the categorical repair pass, so no n×n array
+  is ever materialised.  Peak memory is O(K) for K candidates.
+
+Both run the same ranking (descending score, ties broken toward the larger
+upper-triangle index, matching the historical ``np.argsort(vals)[::-1]``
+order) and the same batched categorical repair, so for identical inputs and
+RNG state they produce identical graphs.
+
+``threshold`` and ``bernoulli`` strategies are kept for the
+assembly-strategy ablation bench; ``bernoulli`` needs the full random
+matrix and therefore has no sparse form.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from .graph import Graph
 
-__all__ = ["assemble_graph"]
+__all__ = ["assemble_graph", "assemble_graph_sparse", "select_edges_sparse"]
+
+_SPARSE_STRATEGIES = ("categorical_topk", "topk", "threshold")
+
+#: Scratch budget (elements) for one block of repair score rows; bounds the
+#: repair pass at O(_REPAIR_SCORE_BLOCK) extra memory even when most nodes
+#: are isolated.
+_REPAIR_SCORE_BLOCK = 500_000
 
 
 def _symmetric_scores(scores: np.ndarray) -> np.ndarray:
@@ -29,6 +54,341 @@ def _symmetric_scores(scores: np.ndarray) -> np.ndarray:
     return np.clip(s, 0.0, None)
 
 
+def _triu_rank(u: np.ndarray, v: np.ndarray, n: int) -> np.ndarray:
+    """Row-major flat position of pair (u, v), u < v, in the upper triangle.
+
+    This is the index each pair had in ``s[np.triu_indices(n, k=1)]``; it is
+    the historical tie-breaking key of the dense assembly path.
+    """
+    u = u.astype(np.int64)
+    v = v.astype(np.int64)
+    return u * (2 * n - u - 1) // 2 + (v - u - 1)
+
+
+def _fold_topk(
+    vals: np.ndarray,
+    rank: np.ndarray | Callable[[np.ndarray], np.ndarray],
+    k: int,
+) -> np.ndarray:
+    """Indices of the ``k`` largest ``vals``, ties resolved by larger rank.
+
+    Unlike a bare ``np.argpartition`` this is deterministic under ties at
+    the k-th value, which keeps candidate pruning equivalent to the dense
+    full-sort regardless of how score plateaus straddle the cut.  ``rank``
+    may be a callable mapping candidate indices to their tie-break keys —
+    the keys are only needed for the (usually tiny) tied subset, so lazy
+    evaluation skips a full-array pass per fold.
+    """
+    if k >= vals.size:
+        return np.arange(vals.size)
+    part = np.argpartition(vals, -k)[-k:]
+    threshold = vals[part].min()
+    # One full-array pass: everything >= threshold, then split the (small)
+    # result into the sure winners and the boundary ties.
+    above = np.flatnonzero(vals >= threshold)
+    tied_mask = vals[above] == threshold
+    sure = above[~tied_mask]
+    need = k - sure.size
+    if need <= 0:  # more-than-k values above the threshold cannot happen
+        return sure[:k]
+    tied = above[tied_mask]
+    if tied.size > need:
+        keys = rank(tied) if callable(rank) else rank[tied]
+        keep = np.argpartition(keys, -need)[-need:]
+        tied = tied[keep]
+    return np.concatenate([sure, tied])
+
+
+def _dedup_candidates(
+    u: np.ndarray, v: np.ndarray, s: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop duplicate pairs, keeping each pair's highest score."""
+    if u.size == 0:
+        return u, v, s
+    keys = u.astype(np.int64) * n + v
+    order = np.lexsort((s, keys))
+    keys_sorted = keys[order]
+    last = np.r_[keys_sorted[1:] != keys_sorted[:-1], True]
+    keep = order[last]
+    return u[keep], v[keep], s[keep]
+
+
+def _rank_descending(
+    u: np.ndarray, v: np.ndarray, s: np.ndarray, n: int
+) -> np.ndarray:
+    """Candidate order equivalent to ``np.argsort(all_vals)[::-1]``:
+    descending score, ties broken toward the larger upper-triangle index."""
+    return np.lexsort((-_triu_rank(u, v, n), -s))
+
+
+def _select_top_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    s: np.ndarray,
+    n: int,
+    num_edges: int,
+) -> np.ndarray:
+    """Indices of the edges the top-k step keeps (historical semantics).
+
+    Entries are taken in descending-score order until ``num_edges`` is
+    reached; selection stops early at the first non-positive score, except
+    that the single best entry is kept even when nothing is positive.
+    """
+    # Cut to the exact top set first (argpartition + tie resolution), then
+    # sort only the survivors — the candidate buffer is typically several
+    # times larger than the edge budget.
+    top = _fold_topk(s, lambda idx: _triu_rank(u[idx], v[idx], n), num_edges)
+    order = top[_rank_descending(u[top], v[top], s[top], n)]
+    if order.size == 0:
+        return order
+    nonpos = np.flatnonzero(s[order] <= 0.0)
+    if nonpos.size:
+        order = order[: max(int(nonpos[0]), 1)]
+    return order
+
+
+def _choose_evictions(
+    u: np.ndarray,
+    v: np.ndarray,
+    order: np.ndarray,
+    degree: np.ndarray,
+    overflow: int,
+    n: int,
+) -> np.ndarray:
+    """First ``overflow`` edges of ``order`` safe to remove (greedy).
+
+    An edge is safe when removing it leaves both endpoints with degree at
+    least one.  The fast path takes the first ``overflow`` edges whose
+    endpoints are currently safe and validates the whole batch at once
+    (no endpoint may lose all its remaining slack); when the batch
+    validates it equals what the one-at-a-time greedy scan would pick, so
+    the sequential loop only runs when evicted edges share scarce
+    endpoints.  Falls back to unsafe evictions when the edge budget
+    cannot cover every node — the budget wins over the no-isolated
+    guarantee.
+    """
+    safe = np.flatnonzero((degree[u[order]] > 1) & (degree[v[order]] > 1))
+    batch = order[safe[:overflow]]
+    loss = np.bincount(np.concatenate([u[batch], v[batch]]), minlength=n)
+    if batch.size == overflow and (degree[loss > 0] > loss[loss > 0]).all():
+        return batch
+    degree = degree.copy()
+    evict: list[int] = []
+    for idx in order:
+        if len(evict) == overflow:
+            break
+        a, b = u[idx], v[idx]
+        if degree[a] > 1 and degree[b] > 1:
+            evict.append(int(idx))
+            degree[a] -= 1
+            degree[b] -= 1
+    if len(evict) < overflow:
+        taken = np.zeros(u.size, dtype=bool)
+        taken[evict] = True
+        rest = order[~taken[order]][: overflow - len(evict)]
+        evict.extend(int(i) for i in rest)
+    return np.asarray(evict, dtype=np.int64)
+
+
+def _repair_isolated(
+    u: np.ndarray,
+    v: np.ndarray,
+    s: np.ndarray,
+    n: int,
+    num_edges: int,
+    rng: np.random.Generator,
+    score_rows: Callable[[np.ndarray], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Paper §III-G step 1 as a batched repair pass.
+
+    Nodes the top-k step left isolated each draw one incident edge from the
+    categorical distribution over their (sharpened) score row — one
+    ``rng.random`` batch and an inverse-CDF lookup instead of a Python loop
+    of ``rng.choice``.  ``score_rows`` must return non-negative rows; the
+    diagonal entries are zeroed here.  The selected edges ``u, v, s`` must
+    arrive in descending selection order (``_select_top_edges`` output), so
+    eviction can walk them back-to-front without re-sorting.  Repair edges
+    are swapped in for the lowest-scoring selected ones so the total stays
+    at the edge budget.  (Running the
+    categorical draw for *every* node first, as a literal reading of the
+    paper suggests, floods the graph with near-uniform noise edges whenever
+    scores are imperfectly calibrated — repair-only preserves the intent,
+    "no node is left out", without that failure mode.)
+    """
+    degree = np.bincount(np.concatenate([u, v]), minlength=n)
+    isolated = np.flatnonzero(degree == 0)
+    if isolated.size == 0:
+        return u, v
+    # One RNG batch up front (stream order is part of the reproducibility
+    # contract), then score rows in bounded blocks so the scratch stays
+    # O(_REPAIR_SCORE_BLOCK) even when nearly every node is isolated.
+    draws = rng.random(isolated.size)
+    block = max(_REPAIR_SCORE_BLOCK // max(n, 1), 1)
+    src_parts: list[np.ndarray] = []
+    partner_parts: list[np.ndarray] = []
+    score_parts: list[np.ndarray] = []
+    for start in range(0, isolated.size, block):
+        nodes = isolated[start : start + block]
+        rows = np.asarray(score_rows(nodes), dtype=float)
+        rows[np.arange(nodes.size), nodes] = 0.0
+        sharpened = np.square(rows)  # sharpen: favour confident entries
+        totals = sharpened.sum(axis=1)
+        valid = np.flatnonzero(totals > 0)
+        if valid.size == 0:
+            continue
+        if valid.size == totals.size:  # common: skip the fancy-index copies
+            cdf = np.cumsum(sharpened, axis=1)
+            targets = draws[start : start + block] * totals
+            src = nodes
+            score_lookup = rows
+        else:
+            cdf = np.cumsum(sharpened[valid], axis=1)
+            targets = draws[start : start + block][valid] * totals[valid]
+            src = nodes[valid]
+            score_lookup = rows[valid]
+        partners = (cdf < targets[:, None]).sum(axis=1)
+        partners = np.minimum(partners, n - 1)
+        src_parts.append(src)
+        partner_parts.append(partners)
+        score_parts.append(score_lookup[np.arange(partners.size), partners])
+    if not src_parts:
+        return u, v
+    if len(src_parts) == 1:
+        src, partners, es = src_parts[0], partner_parts[0], score_parts[0]
+    else:
+        src = np.concatenate(src_parts)
+        partners = np.concatenate(partner_parts)
+        es = np.concatenate(score_parts)
+    eu = np.minimum(src, partners)
+    ev = np.maximum(src, partners)
+    keep = eu != ev
+    eu, ev, es = eu[keep], ev[keep], es[keep]
+    # Dedup repair edges among themselves (two isolated nodes can draw the
+    # same pair).  A repair edge can never duplicate a *selected* edge: its
+    # source endpoint is isolated, i.e. touches no selected edge at all.
+    eu, ev, es = _dedup_candidates(eu, ev, es, n)
+    if eu.size == 0:
+        return u, v
+    overflow = u.size + eu.size - num_edges
+    if overflow > 0:
+        # Evict the lowest-scoring non-repair edges first (ascending score,
+        # ties toward the smaller upper-triangle index: the reverse of the
+        # selection order) — but never an edge whose removal would isolate
+        # one of its endpoints, or the repair pass would undo itself.  The
+        # greedy scan keeps a live degree count so consecutive evictions
+        # cannot strand a shared degree-2 endpoint; it typically stops
+        # after ``overflow`` iterations because most edges are safe.  The
+        # input is already in descending selection order, so the eviction
+        # order is just the reversed index range.
+        order = np.arange(u.size - 1, -1, -1)
+        degree = np.bincount(
+            np.concatenate([u, v, eu, ev]), minlength=n
+        )
+        evict = _choose_evictions(u, v, order, degree, overflow, n)
+        keep_mask = np.ones(u.size, dtype=bool)
+        keep_mask[evict] = False
+        u, v, s = u[keep_mask], v[keep_mask], s[keep_mask]
+    au = np.concatenate([u, eu])
+    av = np.concatenate([v, ev])
+    if au.size > num_edges:
+        # Repair edges alone exceed the budget: trim globally by score.
+        scores = np.concatenate([s, es])
+        order = _rank_descending(au, av, scores, n)[:num_edges]
+        au, av = au[order], av[order]
+    return au, av
+
+
+def select_edges_sparse(
+    num_nodes: int,
+    candidates: tuple[np.ndarray, np.ndarray, np.ndarray],
+    num_edges: int,
+    rng: np.random.Generator | None = None,
+    strategy: str = "categorical_topk",
+    score_rows: Callable[[np.ndarray], np.ndarray] | None = None,
+    assume_unique: bool = False,
+) -> np.ndarray:
+    """Select the final edge set from candidate triples; returns (m, 2).
+
+    The array is sorted by (u, v) — the edge order of
+    :meth:`Graph.edge_array` — so callers can stream it to disk without
+    building a :class:`Graph`.  ``assume_unique`` skips the duplicate-pair
+    scan for producers (like the chunked top-k kernel) that already
+    guarantee distinct pairs.  See :func:`assemble_graph_sparse` for the
+    other parameter semantics.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = int(num_nodes)
+    if strategy not in _SPARSE_STRATEGIES:
+        raise ValueError(
+            f"unknown sparse assembly strategy: {strategy!r} "
+            f"(choose from {_SPARSE_STRATEGIES})"
+        )
+    u, v, s = (np.asarray(a) for a in candidates)
+    if u.size and (u >= v).any():
+        raise ValueError("candidate pairs must satisfy u < v")
+    max_edges = n * (n - 1) // 2
+    num_edges = int(min(num_edges, max_edges))
+    u = u.astype(np.int64, copy=False)
+    v = v.astype(np.int64, copy=False)
+    s = np.clip(s.astype(float, copy=False), 0.0, None)
+    if u.size and not assume_unique:
+        u, v, s = _dedup_candidates(u, v, s, n)
+    chosen = _select_top_edges(u, v, s, n, num_edges)
+    su, sv, ss = u[chosen], v[chosen], s[chosen]
+    if strategy == "categorical_topk":
+        if score_rows is None:
+            raise ValueError(
+                "categorical_topk needs a score_rows callback for the "
+                "isolated-node repair pass"
+            )
+        su, sv = _repair_isolated(su, sv, ss, n, num_edges, rng, score_rows)
+    edges = np.column_stack([su, sv])
+    order = np.lexsort((sv, su))
+    return edges[order]
+
+
+def assemble_graph_sparse(
+    num_nodes: int,
+    candidates: tuple[np.ndarray, np.ndarray, np.ndarray],
+    num_edges: int,
+    rng: np.random.Generator | None = None,
+    strategy: str = "categorical_topk",
+    score_rows: Callable[[np.ndarray], np.ndarray] | None = None,
+    assume_unique: bool = False,
+) -> Graph:
+    """Build a :class:`Graph` from pruned ``(u, v, score)`` candidates.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node count of the output graph.
+    candidates:
+        Three equal-length arrays ``(u, v, score)`` with ``u < v`` — the
+        top-scoring pairs, e.g. from
+        :func:`repro.core.decoder.topk_pair_candidates`.  The candidate
+        buffer must hold at least ``num_edges`` true top pairs for the
+        result to match the dense reference.
+    num_edges:
+        Target number of undirected edges.
+    strategy:
+        ``categorical_topk`` (paper default), ``topk`` or ``threshold``.
+        ``bernoulli`` requires the dense matrix — use
+        :func:`assemble_graph`.
+    score_rows:
+        Callback mapping a node-index array to the corresponding rows of
+        the (symmetric, non-negative, zero-diagonal) score matrix; only
+        needed by ``categorical_topk``'s repair pass, and only ever called
+        with the isolated nodes, so its cost is O(#isolated × n).
+    """
+    edges = select_edges_sparse(
+        num_nodes, candidates, num_edges, rng, strategy, score_rows,
+        assume_unique,
+    )
+    # select_edges_sparse guarantees canonical output (unique, u < v,
+    # sorted), so the validating constructor would be pure overhead.
+    return Graph.from_canonical_edges(num_nodes, edges)
+
+
 def assemble_graph(
     scores: np.ndarray,
     num_edges: int,
@@ -36,6 +396,12 @@ def assemble_graph(
     strategy: str = "categorical_topk",
 ) -> Graph:
     """Build a :class:`Graph` with ``num_edges`` edges from ``scores``.
+
+    This is the dense reference entry point: it symmetrises the full
+    (n, n) matrix, prunes it to the top candidates with ``np.argpartition``
+    and delegates to the same selection core as
+    :func:`assemble_graph_sparse`, so the two are interchangeable wherever
+    the candidate set covers the top ``num_edges`` pairs.
 
     Parameters
     ----------
@@ -58,63 +424,18 @@ def assemble_graph(
         upper = np.triu(rng.random((n, n)) < p, k=1)
         u, v = np.nonzero(upper)
         return Graph.from_edges(n, np.column_stack([u, v]))
-    if strategy not in ("categorical_topk", "topk", "threshold"):
+    if strategy not in _SPARSE_STRATEGIES:
         raise ValueError(f"unknown assembly strategy: {strategy}")
 
-    # Top-scoring entries first.
     iu, ju = np.triu_indices(n, k=1)
     vals = s[iu, ju]
-    order = np.argsort(vals)[::-1]
-    chosen: set[tuple[int, int]] = set()
-    for idx in order[:num_edges]:
-        if vals[idx] <= 0 and chosen:
-            break
-        chosen.add((int(iu[idx]), int(ju[idx])))
-
-    if strategy == "categorical_topk":
-        # Paper §III-G step 1: give low-degree nodes an edge via a
-        # categorical draw over their score row.  Applied as a *repair* pass
-        # for nodes the top-k step left isolated (running it for every node
-        # first, as a literal reading suggests, floods the graph with
-        # near-uniform noise edges whenever scores are imperfectly
-        # calibrated — the repair ordering preserves the intent, "no node is
-        # left out", without that failure mode).
-        degree = np.zeros(n, dtype=np.int64)
-        for u, v in chosen:
-            degree[u] += 1
-            degree[v] += 1
-        extra: list[tuple[int, int]] = []
-        for i in np.flatnonzero(degree == 0):
-            row = s[i] ** 2.0  # sharpen: favour confident entries
-            total = row.sum()
-            if total <= 0:
-                continue
-            j = int(rng.choice(n, p=row / total))
-            edge = (min(i, j), max(i, j))
-            if edge not in chosen:
-                extra.append(edge)
-        # Swap repair edges in for the lowest-scoring chosen ones, keeping
-        # the total at the edge budget.
-        if extra:
-            chosen.update(extra)
-            if len(chosen) > num_edges:
-                repair = set(extra)
-                removable = sorted(
-                    (e for e in chosen if e not in repair),
-                    key=lambda e: s[e[0], e[1]],
-                )
-                overflow = len(chosen) - num_edges
-                for victim in removable[:overflow]:
-                    chosen.discard(victim)
-                # If repair edges alone exceed the budget, trim those too.
-                if len(chosen) > num_edges:
-                    ranked = sorted(chosen, key=lambda e: s[e[0], e[1]])
-                    for victim in ranked[: len(chosen) - num_edges]:
-                        chosen.discard(victim)
-
-    edges = (
-        np.array(sorted(chosen), dtype=np.int64)
-        if chosen
-        else np.zeros((0, 2), dtype=np.int64)
+    keep = _fold_topk(vals, lambda idx: idx, num_edges)
+    return assemble_graph_sparse(
+        n,
+        (iu[keep], ju[keep], vals[keep]),
+        num_edges,
+        rng,
+        strategy,
+        score_rows=lambda nodes: s[nodes],
+        assume_unique=True,
     )
-    return Graph.from_edges(n, edges)

@@ -20,7 +20,7 @@ from repro.bench import (
     run_hotpath_bench,
 )
 
-HOT_PATHS = {"train_epoch", "generation", "mmd_eval"}
+HOT_PATHS = {"train_epoch", "generation", "generation_large", "mmd_eval"}
 
 
 @pytest.fixture(scope="module")
