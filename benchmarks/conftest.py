@@ -23,8 +23,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def settings() -> BenchSettings:
     # Every autograd-trained experiment leaves its per-epoch JSONL run log
-    # next to the table it contributed to.
-    return replace(settings_from_env(), run_log_dir=RESULTS_DIR / "run_logs")
+    # next to the table it contributed to, plus a resumable checkpoint every
+    # 25 epochs — re-running an interrupted bench resumes its cells from
+    # benchmarks/results/run_logs/ instead of refitting from scratch.
+    return replace(
+        settings_from_env(),
+        run_log_dir=RESULTS_DIR / "run_logs",
+        checkpoint_every=25,
+    )
 
 
 class TableWriter:

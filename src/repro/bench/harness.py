@@ -44,7 +44,7 @@ from ..baselines import (
     VGAE,
 )
 from ..baselines.base import GraphGenerator
-from ..core import CPGAN, CPGANConfig
+from ..core import CPGAN, CPGANConfig, CheckpointError
 from ..datasets import Dataset, load
 from ..graphs import Graph
 from ..metrics import (
@@ -80,6 +80,13 @@ class BenchSettings:
     #: When set, every autograd-trained experiment writes per-epoch JSONL
     #: run telemetry (``repro.train.JsonlRunLog``) into this directory.
     run_log_dir: Path | None = None
+    #: Checkpoint cadence (epochs) for resumable bench cells.  When > 0 and
+    #: ``run_log_dir`` is set, models whose ``fit`` supports checkpointing
+    #: write a resumable checkpoint next to their run log and *resume from
+    #: it* on the next bench invocation — an interrupted bench run picks up
+    #: its cells mid-training instead of restarting from scratch, and a
+    #: completed cell's fit collapses to a no-op.
+    checkpoint_every: int = 0
 
     @property
     def budget(self) -> int:
@@ -226,27 +233,46 @@ class QualityCell:
         )
 
 
-def _run_log_kwargs(
+def _cell_fit_kwargs(
     model: GraphGenerator,
     model_name: str,
     dataset: Dataset,
     settings: BenchSettings,
 ) -> dict:
-    """Extra ``fit`` kwargs wiring per-epoch JSONL telemetry, when possible.
+    """Extra ``fit`` kwargs wiring telemetry and resumable checkpoints.
 
     Only autograd-trained models go through the shared
-    :class:`repro.train.Trainer`, and only those whose ``fit`` exposes a
-    ``run_log_path`` hook can record one — traditional closed-form
-    generators have no epochs to log.
+    :class:`repro.train.Trainer`; signature inspection gates each feature on
+    the model's ``fit`` actually exposing the hook — traditional closed-form
+    generators have no epochs to log, and most learned baselines do not yet
+    checkpoint (a ROADMAP open item).
+
+    With ``settings.checkpoint_every > 0`` the cell writes a resumable
+    checkpoint (``<stem>.ckpt.npz``, via the :class:`repro.train.Checkpoint`
+    callback inside ``fit``) into ``run_log_dir``; if that file already
+    exists from an interrupted or completed bench run, the cell resumes from
+    it instead of refitting from scratch.
     """
     if settings.run_log_dir is None or not model.uses_autograd_training:
         return {}
-    if "run_log_path" not in inspect.signature(model.fit).parameters:
-        return {}
+    params = inspect.signature(model.fit).parameters
+    kwargs: dict = {}
     log_dir = Path(settings.run_log_dir)
     log_dir.mkdir(parents=True, exist_ok=True)
     stem = f"{model_name}__{dataset.name}__{settings.label}".replace("/", "-")
-    return {"run_log_path": log_dir / f"{stem}.jsonl"}
+    if "run_log_path" in params:
+        kwargs["run_log_path"] = log_dir / f"{stem}.jsonl"
+    if (
+        settings.checkpoint_every > 0
+        and "checkpoint_path" in params
+        and "resume_from" in params
+    ):
+        ckpt = log_dir / f"{stem}.ckpt.npz"
+        kwargs["checkpoint_path"] = ckpt
+        kwargs["checkpoint_every"] = settings.checkpoint_every
+        if ckpt.exists():
+            kwargs["resume_from"] = ckpt
+    return kwargs
 
 
 def _generate_with_guard(
@@ -262,10 +288,19 @@ def _generate_with_guard(
     model = make_model(model_name, settings)
     try:
         check_memory(model, dataset.graph.num_nodes, settings.budget)
-        model.fit(
-            dataset.graph,
-            **_run_log_kwargs(model, model_name, dataset, settings),
-        )
+        kwargs = _cell_fit_kwargs(model, model_name, dataset, settings)
+        try:
+            model.fit(dataset.graph, **kwargs)
+        except CheckpointError:
+            # A stale or incompatible cell checkpoint (scale/config changed
+            # between bench runs, or a write was killed mid-archive): drop
+            # it and refit the cell from scratch.
+            stale = kwargs.pop("resume_from", None)
+            if stale is None:
+                raise
+            Path(stale).unlink(missing_ok=True)
+            model = make_model(model_name, settings)
+            model.fit(dataset.graph, **kwargs)
         return [model.generate(seed=s) for s in seeds]
     except MemoryBudgetExceeded:
         return None

@@ -138,13 +138,15 @@ def _time_generation(
     graph: Graph, settings: HotpathSettings, node_factor: int = 1
 ) -> tuple[float, float]:
     model = _fitted_model(graph, settings)
-    model.config.latent_source = "prior"
+    # Per-call config snapshot (the thread-safe serving entry) instead of
+    # mutating the shared model.config.
+    cfg = model.generation_config(latent_source="prior")
     num_nodes = graph.num_nodes * node_factor
     counter = {"seed": 0}
 
     def generate() -> None:
         counter["seed"] += 1
-        model.generate(seed=counter["seed"], num_nodes=num_nodes)
+        model.generate(seed=counter["seed"], num_nodes=num_nodes, config=cfg)
 
     generate()  # warm up
     return _timeit(generate, settings.repeats)

@@ -49,29 +49,41 @@ class Comparison:
     regressed: bool
 
 
-def load_baseline(path: str | Path | None = None) -> dict:
-    """Read and validate a committed harness result document."""
+def load_baseline(
+    path: str | Path | None = None,
+    schema: int = SCHEMA_VERSION,
+    section: str = "hot_paths",
+) -> dict:
+    """Read and validate a committed harness result document.
+
+    ``section``/``schema`` let other tracked baselines (the serve load
+    harness's ``BENCH_serve.json``) share this loader and the comparison
+    machinery below.
+    """
     path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
     document = json.loads(path.read_text())
-    schema = document.get("schema")
-    if schema != SCHEMA_VERSION:
+    found = document.get("schema")
+    if found != schema:
         raise ValueError(
-            f"baseline {path} has schema {schema!r}, expected {SCHEMA_VERSION}"
+            f"baseline {path} has schema {found!r}, expected {schema}"
         )
-    if "hot_paths" not in document:
-        raise ValueError(f"baseline {path} has no 'hot_paths' section")
+    if section not in document:
+        raise ValueError(f"baseline {path} has no {section!r} section")
     return document
 
 
 def compare_runs(
-    baseline: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    section: str = "hot_paths",
 ) -> list[Comparison]:
-    """Compare two harness documents hot path by hot path."""
+    """Compare two harness documents entry by entry within ``section``."""
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     comparisons = []
-    for name, base_entry in sorted(baseline["hot_paths"].items()):
-        fresh_entry = fresh["hot_paths"].get(name)
+    for name, base_entry in sorted(baseline[section].items()):
+        fresh_entry = fresh[section].get(name)
         if fresh_entry is None:
             raise KeyError(f"fresh run is missing hot path {name!r}")
         base_norm = float(base_entry["normalized"])

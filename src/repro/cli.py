@@ -8,6 +8,7 @@ Commands:
 * ``evaluate <observed> <generated>`` — community + structural metrics
 * ``datasets``                    — list the built-in dataset stand-ins
 * ``synth <name> -o out``         — materialise a stand-in as an edge list
+* ``serve model.npz ...``         — HTTP generation service (repro.serve)
 
 Edge-list format: one ``u v`` pair per line, ``#`` comments, optional
 ``# nodes: N`` header (see :mod:`repro.graphs.io`).
@@ -96,6 +97,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("-o", "--output", type=Path, required=True)
     p_synth.add_argument("--scale", type=float, default=0.1)
     p_synth.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve graph generation over HTTP (repro.serve)"
+    )
+    p_serve.add_argument(
+        "models",
+        nargs="*",
+        type=Path,
+        help="fitted model archives; each is registered under its file stem",
+    )
+    p_serve.add_argument(
+        "--models-dir",
+        type=Path,
+        default=None,
+        help="register every valid *.npz under this directory",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="generation worker threads"
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=32,
+        help="bounded request queue; a full queue answers 503 + Retry-After",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=128,
+        help="LRU sample cache capacity in graphs (0 disables)",
+    )
+    p_serve.add_argument(
+        "--max-loaded",
+        type=int,
+        default=4,
+        help="models kept warm in memory before LRU eviction",
+    )
+    p_serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Retry-After hint returned with backpressure responses",
+    )
     return parser
 
 
@@ -108,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "datasets": _cmd_datasets,
         "synth": _cmd_synth,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -185,6 +233,43 @@ def _cmd_synth(args) -> int:
     dataset = load(args.name, scale=args.scale, seed=args.seed)
     write_edge_list(dataset.graph, args.output)
     print(f"{dataset.graph} ({args.name} @ scale {args.scale}) -> {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .core import CheckpointError
+    from .serve import GenerationService, ModelRegistry, serve_forever
+
+    registry = ModelRegistry(max_loaded=args.max_loaded)
+    for path in args.models:
+        try:
+            registry.register(path.stem, path)
+        except (CheckpointError, FileNotFoundError) as exc:
+            print(f"error: cannot register {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.models_dir is not None:
+        registry.discover(args.models_dir)
+        for path, reason in registry.rejected.items():
+            print(f"warning: skipped {path}: {reason}", file=sys.stderr)
+    if not registry.names():
+        print("error: no models to serve", file=sys.stderr)
+        return 2
+    service = GenerationService(
+        registry,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_entries,
+        retry_after_s=args.retry_after,
+    )
+    print(f"Serving {len(registry.names())} model(s): {', '.join(registry.names())}")
+    print(f"  http://{args.host}:{args.port}/generate  (POST)")
+    print(f"  http://{args.host}:{args.port}/models")
+    print(f"  http://{args.host}:{args.port}/healthz")
+    print(f"  http://{args.host}:{args.port}/metrics")
+    try:
+        serve_forever(service, args.host, args.port)
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 

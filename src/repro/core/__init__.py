@@ -6,7 +6,7 @@ from .discriminator import Discriminator
 from .encoder import EncoderOutput, LadderEncoder
 from .model import CPGAN, TrainingHistory
 from .multigraph import CPGANMultiGraph
-from .persistence import load_model, save_model
+from .persistence import CheckpointError, load_model, read_archive_meta, save_model
 from .reconstruction import EdgeSplit, edge_set_nll, sample_non_edges, split_edges
 from .variational import LatentDistributions, VariationalInference
 
@@ -21,8 +21,10 @@ __all__ = [
     "Discriminator",
     "VariationalInference",
     "LatentDistributions",
+    "CheckpointError",
     "save_model",
     "load_model",
+    "read_archive_meta",
     "EdgeSplit",
     "split_edges",
     "sample_non_edges",

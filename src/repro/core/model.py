@@ -24,7 +24,7 @@ training procedure of Eqs. 16–19 and the generation procedure of §III-G:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -254,8 +254,16 @@ class CPGAN(GraphGenerator):
                 )
             )
         if checkpoint_path is not None:
+            # at_fit_end guarantees a final checkpoint even when the epoch
+            # budget is not a multiple of the cadence — a completed run can
+            # then be "resumed" into a no-op (the bench harness relies on
+            # this to skip already-finished cells).
             cbs.append(
-                Checkpoint(checkpoint_path, every=max(checkpoint_every, 1))
+                Checkpoint(
+                    checkpoint_path,
+                    every=max(checkpoint_every, 1),
+                    at_fit_end=True,
+                )
             )
         if self.config.early_stopping:
             cbs.append(self._convergence_callback())
@@ -420,7 +428,25 @@ class CPGAN(GraphGenerator):
             __, ___, snapshot = self._latent_pass(out, rng)
         return snapshot
 
-    def generate(self, seed: int = 0, num_nodes: int | None = None) -> Graph:
+    def generation_config(self, **overrides) -> CPGANConfig:
+        """A validated per-call copy of ``config`` with ``overrides`` applied.
+
+        Concurrent servers must not mutate the shared ``model.config``
+        between requests (another worker may be mid-generate); they build a
+        snapshot here and pass it to :meth:`generate` instead.  Validation
+        happens through ``CPGANConfig.__post_init__``, so an unknown field
+        raises ``TypeError`` and a bad value raises ``ValueError`` before
+        any work is queued.
+        """
+        return replace(self.config, **overrides)
+
+    def generate(
+        self,
+        seed: int = 0,
+        num_nodes: int | None = None,
+        *,
+        config: CPGANConfig | None = None,
+    ) -> Graph:
         """Sample a new graph (§III-G).
 
         By default the fitted node count and the posterior latents are used
@@ -434,17 +460,29 @@ class CPGAN(GraphGenerator):
         ``bernoulli``; the dense reference path is limited to
         ``_DENSE_GENERATION_LIMIT`` nodes and produces the same graph as
         the sparse pipeline for the same seed.
+
+        **Thread safety.**  On a fitted model this method is safe to call
+        from concurrent threads: it only *reads* the fitted snapshot
+        (latents, decoder weights, observed graph) and derives every random
+        draw from ``seed`` via a private PCG64 stream, so the same
+        ``(seed, num_nodes, config)`` yields a bit-identical graph no matter
+        which thread runs it or what runs beside it.  Per-request overrides
+        must come in through ``config=`` (see :meth:`generation_config`) —
+        mutating ``self.config`` concurrently is the one thing that breaks
+        this guarantee.  Calling ``fit`` concurrently with ``generate`` is
+        not supported.
         """
+        cfg = config or self.config
         n, target_edges, rng, latents = self._prepare_generation(
-            seed, num_nodes
+            seed, num_nodes, cfg
         )
-        strategy = self.config.assembly_strategy
-        if self._use_dense_generation(strategy):
+        strategy = cfg.assembly_strategy
+        if self._use_dense_generation(cfg):
             return self._generate_dense(latents, n, target_edges, rng, strategy)
         g = self.decoder.edge_features_numpy(latents)
         return assemble_graph_sparse(
             n,
-            self._sparse_candidates(g, target_edges),
+            self._sparse_candidates(g, target_edges, cfg),
             target_edges,
             rng,
             strategy,
@@ -454,11 +492,11 @@ class CPGAN(GraphGenerator):
 
     # -- shared generation pipeline ------------------------------------
     def _prepare_generation(
-        self, seed: int, num_nodes: int | None
+        self, seed: int, num_nodes: int | None, cfg: CPGANConfig | None = None
     ) -> tuple[int, int, np.random.Generator, list[np.ndarray]]:
         """Latent sampling shared by in-memory and streamed generation."""
         observed = self._require_fitted()
-        cfg = self.config
+        cfg = cfg or self.config
         rng = rng_from_seed(seed)
         n = num_nodes or observed.num_nodes
         target_edges = max(
@@ -479,10 +517,13 @@ class CPGAN(GraphGenerator):
         latents = source.sample(n, rng, keep_identity=keep_identity)
         return n, target_edges, rng, latents
 
-    def _use_dense_generation(self, strategy: str) -> bool:
+    def _use_dense_generation(self, cfg: CPGANConfig) -> bool:
         """Bernoulli needs the full random matrix; 'dense' mode is the
         explicit O(n²) reference."""
-        return strategy == "bernoulli" or self.config.generation_mode == "dense"
+        return (
+            cfg.assembly_strategy == "bernoulli"
+            or cfg.generation_mode == "dense"
+        )
 
     def _generate_dense(
         self,
@@ -503,7 +544,7 @@ class CPGAN(GraphGenerator):
         return assemble_graph(scores, target_edges, rng, strategy)
 
     def _sparse_candidates(
-        self, g: np.ndarray, target_edges: int
+        self, g: np.ndarray, target_edges: int, cfg: CPGANConfig | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Top-K (u, v, score) triples from the chunked scoring kernel.
 
@@ -512,7 +553,8 @@ class CPGAN(GraphGenerator):
         the headroom only exists so downstream consumers (diagnostics,
         alternative strategies) see more than the bare minimum.
         """
-        k = int(np.ceil(self.config.candidate_factor * target_edges))
+        cfg = cfg or self.config
+        k = int(np.ceil(cfg.candidate_factor * target_edges))
         return topk_pair_candidates(g, max(k, target_edges))
 
     def _score_rows_fn(self, g: np.ndarray):
@@ -534,6 +576,8 @@ class CPGAN(GraphGenerator):
         seed: int = 0,
         num_nodes: int | None = None,
         flush_every: int = 100_000,
+        *,
+        config: CPGANConfig | None = None,
     ) -> int:
         """Stream a generated graph to an edge-list file (§III-H future work).
 
@@ -549,11 +593,12 @@ class CPGAN(GraphGenerator):
         """
         from pathlib import Path
 
+        cfg = config or self.config
         n, target_edges, rng, latents = self._prepare_generation(
-            seed, num_nodes
+            seed, num_nodes, cfg
         )
-        strategy = self.config.assembly_strategy
-        if self._use_dense_generation(strategy):
+        strategy = cfg.assembly_strategy
+        if self._use_dense_generation(cfg):
             edges = self._generate_dense(
                 latents, n, target_edges, rng, strategy
             ).edge_array()
@@ -561,7 +606,7 @@ class CPGAN(GraphGenerator):
             g = self.decoder.edge_features_numpy(latents)
             edges = select_edges_sparse(
                 n,
-                self._sparse_candidates(g, target_edges),
+                self._sparse_candidates(g, target_edges, cfg),
                 target_edges,
                 rng,
                 strategy,

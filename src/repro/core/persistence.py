@@ -19,6 +19,7 @@ JSON metadata blob):
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -34,14 +35,29 @@ from .model import CPGAN
 from .variational import LatentDistributions, VariationalInference
 
 __all__ = [
+    "CheckpointError",
     "save_model",
     "load_model",
+    "read_archive_meta",
     "save_training_checkpoint",
     "restore_training_checkpoint",
 ]
 
 _FORMAT_VERSION = 1
 _CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A model or checkpoint archive is unreadable, corrupt, or incompatible.
+
+    Everything the loaders can diagnose — a non-npz file, a missing metadata
+    blob, a format-version mismatch, missing or misshapen parameter arrays,
+    an unknown config field — surfaces as this one typed error with the
+    offending path in the message, so consumers (the serving registry, the
+    bench resume path, the CLI) can reject a bad archive gracefully instead
+    of crashing on a raw ``KeyError``.  Subclasses :class:`ValueError` for
+    backward compatibility with callers that caught that.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -59,15 +75,58 @@ def write_archive(
 
 
 def read_archive(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
-    """Load an archive written by :func:`write_archive` into memory."""
-    with np.load(Path(path)) as archive:
-        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        arrays = {
-            name: archive[name].copy()
-            for name in archive.files
-            if name != "meta_json"
-        }
+    """Load an archive written by :func:`write_archive` into memory.
+
+    Raises :class:`CheckpointError` when the file exists but is not a valid
+    archive (missing files still raise :class:`FileNotFoundError`).
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            meta = _archive_meta(path, archive)
+            arrays = {
+                name: archive[name].copy()
+                for name in archive.files
+                if name != "meta_json"
+            }
+    except (CheckpointError, FileNotFoundError):
+        raise
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"cannot read archive {path}: {exc}") from exc
     return arrays, meta
+
+
+def read_archive_meta(path: str | Path) -> dict:
+    """Load only the JSON metadata blob of an archive (arrays stay on disk).
+
+    ``np.load`` on an npz decompresses members lazily, so this is cheap even
+    for large models — the serving registry uses it to describe archives
+    without pulling their parameter arrays into memory.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            return _archive_meta(path, archive)
+    except (CheckpointError, FileNotFoundError):
+        raise
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"cannot read archive {path}: {exc}") from exc
+
+
+def _archive_meta(path: Path, archive) -> dict:
+    if "meta_json" not in archive.files:
+        raise CheckpointError(
+            f"{path} is not a repro archive (no metadata blob)"
+        )
+    try:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"{path} has a corrupt metadata blob: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"{path} metadata is not a JSON object")
+    return meta
 
 
 def _module_arrays(model: CPGAN) -> dict[str, np.ndarray]:
@@ -110,31 +169,59 @@ def save_model(model: CPGAN, path: str | Path) -> None:
         "num_levels": len(model._latents.mus),
         "num_ground_truth": len(model._ground_truth or []),
         "num_nodes": observed.num_nodes,
+        "num_edges": observed.num_edges,
+        # Fit provenance: where the archive came from, for the serving
+        # registry's /models listing (absent in v0 archives — read via .get).
+        "provenance": {
+            "model": model.name,
+            "epochs_trained": len(model.history.total),
+            "seed": model.config.seed,
+        },
     }
     write_archive(path, arrays, meta)
 
 
 def load_model(path: str | Path) -> CPGAN:
-    """Restore a CPGAN saved with :func:`save_model`."""
+    """Restore a CPGAN saved with :func:`save_model`.
+
+    Raises :class:`CheckpointError` on any corrupt, truncated, or
+    version-mismatched archive.
+    """
     arrays, meta = read_archive(path)
-    if meta["version"] != _FORMAT_VERSION:
-        raise ValueError(f"unsupported model format version {meta['version']}")
-    config = CPGANConfig(**meta["config"])
-    model = CPGAN(config)
-    _load_module_arrays(model, arrays)
-    model.node_embedding = nn.Parameter(arrays["node_embedding"])
-    model._features = arrays["features"]
-    model._latents = LatentDistributions(
-        mus=[arrays[f"latent_mu_{i}"] for i in range(meta["num_levels"])],
-        sigmas=[
-            arrays[f"latent_sigma_{i}"] for i in range(meta["num_levels"])
-        ],
-    )
-    model._ground_truth = [
-        arrays[f"ground_truth_{i}"]
-        for i in range(meta["num_ground_truth"])
-    ]
-    observed = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
+    if meta.get("kind") == "training_checkpoint":
+        raise CheckpointError(
+            f"{path} is a training checkpoint, not a fitted model — "
+            "resume it with fit(resume_from=...) instead"
+        )
+    if meta.get("version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported model format version {meta.get('version')}"
+        )
+    try:
+        config = CPGANConfig(**meta["config"])
+        model = CPGAN(config)
+        _load_module_arrays(model, arrays)
+        model.node_embedding = nn.Parameter(arrays["node_embedding"])
+        model._features = arrays["features"]
+        model._latents = LatentDistributions(
+            mus=[arrays[f"latent_mu_{i}"] for i in range(meta["num_levels"])],
+            sigmas=[
+                arrays[f"latent_sigma_{i}"] for i in range(meta["num_levels"])
+            ],
+        )
+        model._ground_truth = [
+            arrays[f"ground_truth_{i}"]
+            for i in range(meta["num_ground_truth"])
+        ]
+        observed = Graph.from_edges(
+            meta["num_nodes"], arrays["observed_edges"]
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(
+            f"{path} is corrupt or incompatible: {exc!r}"
+        ) from exc
     model._mark_fitted(observed)
     return model
 
@@ -189,48 +276,60 @@ def restore_training_checkpoint(
     """
     arrays, meta = read_archive(path)
     if meta.get("kind") != "training_checkpoint":
-        raise ValueError(f"{path} is not a training checkpoint")
-    if meta["version"] != _CHECKPOINT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint version {meta['version']}"
+        raise CheckpointError(f"{path} is not a training checkpoint")
+    if meta.get("version") != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {meta.get('version')}"
         )
-    stored = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
-    if graph is not None:
-        if graph.num_nodes != stored.num_nodes or not np.array_equal(
-            graph.edge_array(), stored.edge_array()
+    try:
+        stored = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
+        if graph is not None:
+            if graph.num_nodes != stored.num_nodes or not np.array_equal(
+                graph.edge_array(), stored.edge_array()
+            ):
+                raise CheckpointError(
+                    f"graph passed to resume does not match the training "
+                    f"graph stored in {path}"
+                )
+            stored = graph
+        config = CPGANConfig(**meta["config"])
+        model.config = config
+        init_rng = np.random.default_rng(config.seed)
+        model.encoder = LadderEncoder(config, init_rng)
+        model.vi = VariationalInference(config, init_rng)
+        model.decoder = GraphDecoder(config, init_rng)
+        model.discriminator = Discriminator(config, init_rng)
+        _load_module_arrays(model, arrays)
+        model.node_embedding = nn.Parameter(arrays["node_embedding"])
+        model._features = arrays["features"]
+        model._ground_truth = [
+            arrays[f"ground_truth_{i}"]
+            for i in range(meta["num_ground_truth"])
+        ]
+        session = model._build_session(
+            stored, np.random.default_rng(config.seed)
+        )
+        session.rng.bit_generator.state = meta["rng_state"]
+        for name, opt in (
+            ("opt_gen", session.opt_gen),
+            ("opt_disc", session.opt_disc),
         ):
-            raise ValueError(
-                "graph passed to resume does not match the checkpoint's "
-                "training graph"
+            opt.load_state_dict(
+                {
+                    "lr": meta["optimizers"][name]["lr"],
+                    "t": meta["optimizers"][name]["t"],
+                    "m": _indexed(arrays, f"{name}_m_"),
+                    "v": _indexed(arrays, f"{name}_v_"),
+                }
             )
-        stored = graph
-    config = CPGANConfig(**meta["config"])
-    model.config = config
-    init_rng = np.random.default_rng(config.seed)
-    model.encoder = LadderEncoder(config, init_rng)
-    model.vi = VariationalInference(config, init_rng)
-    model.decoder = GraphDecoder(config, init_rng)
-    model.discriminator = Discriminator(config, init_rng)
-    _load_module_arrays(model, arrays)
-    model.node_embedding = nn.Parameter(arrays["node_embedding"])
-    model._features = arrays["features"]
-    model._ground_truth = [
-        arrays[f"ground_truth_{i}"]
-        for i in range(meta["num_ground_truth"])
-    ]
-    session = model._build_session(stored, np.random.default_rng(config.seed))
-    session.rng.bit_generator.state = meta["rng_state"]
-    for name, opt in (("opt_gen", session.opt_gen), ("opt_disc", session.opt_disc)):
-        opt.load_state_dict(
-            {
-                "lr": meta["optimizers"][name]["lr"],
-                "t": meta["optimizers"][name]["t"],
-                "m": _indexed(arrays, f"{name}_m_"),
-                "v": _indexed(arrays, f"{name}_v_"),
-            }
-        )
-    session.sched.load_state_dict(meta["sched"])
-    session.state.restore(meta["train_state"])
+        session.sched.load_state_dict(meta["sched"])
+        session.state.restore(meta["train_state"])
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(
+            f"{path} is corrupt or incompatible: {exc!r}"
+        ) from exc
     model._session = session
 
 

@@ -1,0 +1,310 @@
+"""The concurrent generation service: worker pool, bounded queue, cache.
+
+Request lifecycle::
+
+    submit(request)
+      ├─ validate (model registered, params allowed)
+      ├─ sample-cache lookup ── hit ──> resolved immediately (no queue)
+      └─ queue.put_nowait ──── full ──> Overloaded(retry_after_s)   [backpressure]
+                     │
+              worker thread pool (``workers`` threads)
+                     │  lease model from the registry
+                     │  generate with a per-request config snapshot
+                     └─ resolve the pending future, fill the cache
+
+**Determinism.**  A request's graph depends only on
+``(model, seed, num_nodes, params)``: ``CPGAN.generate`` derives every
+random draw from the request seed through a fresh PCG64 stream
+(``np.random.default_rng(seed)``), and per-request parameter overrides are
+applied to a private config snapshot (``CPGAN.generation_config``) rather
+than shared model state.  The same request therefore yields a bit-identical
+graph no matter which worker runs it, how many workers exist, or what runs
+concurrently — which is also what makes the sample cache sound.
+
+**Backpressure.**  The request queue is bounded; when it is full ``submit``
+fails *immediately* with :class:`Overloaded` carrying a ``retry_after_s``
+hint instead of blocking the caller indefinitely.  The HTTP layer maps this
+to ``503`` + ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..graphs import Graph
+from .cache import SampleCache, cache_key
+from .metrics import Counters, LatencyWindow
+from .registry import ModelRegistry
+
+__all__ = [
+    "ALLOWED_PARAMS",
+    "GenerationRequest",
+    "GenerationResult",
+    "GenerationService",
+    "Overloaded",
+]
+
+#: Per-request config overrides a client may send.  Everything else in
+#: CPGANConfig shapes *training* and cannot change at serving time.
+ALLOWED_PARAMS = frozenset(
+    {
+        "latent_source",
+        "noise_scale",
+        "assembly_strategy",
+        "generation_mode",
+        "candidate_factor",
+    }
+)
+
+_STOP = object()
+
+
+class Overloaded(RuntimeError):
+    """The bounded request queue is full — retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"request queue is full; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One graph-generation request.
+
+    ``params`` are CPGANConfig overrides from :data:`ALLOWED_PARAMS`; the
+    tuple ``(model, seed, num_nodes, params)`` fully determines the result.
+    """
+
+    model: str
+    seed: int = 0
+    num_nodes: int | None = None
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return cache_key(self.model, self.seed, self.num_nodes, self.params)
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """A fulfilled request: the graph plus service-side accounting."""
+
+    request: GenerationRequest
+    graph: Graph
+    cache_hit: bool
+    queued_s: float   # submit -> worker pickup (0 for cache hits)
+    total_s: float    # submit -> resolution
+
+
+class _Pending:
+    """Future-like handle the HTTP thread blocks on."""
+
+    def __init__(self, request: GenerationRequest) -> None:
+        self.request = request
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self._event = threading.Event()
+        self._result: GenerationResult | None = None
+        self._error: BaseException | None = None
+
+    def resolve(self, result: GenerationResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> GenerationResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request for model {self.request.model!r} did not complete "
+                f"within {timeout:g}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class GenerationService:
+    """Worker thread pool fulfilling generation requests from a queue.
+
+    ``submit`` may be called before :meth:`start` — requests simply wait in
+    the queue until workers exist (and trip backpressure once it fills),
+    which tests use to exercise the overload path deterministically.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        workers: int = 2,
+        queue_size: int = 32,
+        cache_entries: int = 128,
+        retry_after_s: float = 0.5,
+        latency_window: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.registry = registry
+        self.workers = workers
+        self.queue_size = queue_size
+        self.retry_after_s = retry_after_s
+        self.cache = SampleCache(cache_entries)
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._threads: list[threading.Thread] = []
+        self._latency = LatencyWindow(latency_window)
+        self._counters = Counters(
+            ("submitted", "completed", "failed", "rejected", "cache_hits")
+        )
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "GenerationService":
+        if self._threads:
+            raise RuntimeError("service already started")
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"generate-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` queued requests finish first."""
+        if not self._threads:
+            return
+        if drain:
+            self._queue.join()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "GenerationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, request: GenerationRequest) -> _Pending:
+        """Validate and enqueue ``request``; never blocks.
+
+        Raises ``KeyError`` for an unregistered model, ``ValueError`` for a
+        disallowed parameter, and :class:`Overloaded` when the queue is
+        full.  A sample-cache hit resolves the returned pending immediately
+        without touching the queue.
+        """
+        self._validate(request)
+        self._counters.bump("submitted")
+        pending = _Pending(request)
+        cached = self.cache.get(request.key())
+        if cached is not None:
+            self._counters.bump("cache_hits")
+            total = time.perf_counter() - pending.submitted_at
+            self._latency.observe(total)
+            pending.resolve(
+                GenerationResult(request, cached, True, 0.0, total)
+            )
+            return pending
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self._counters.bump("rejected")
+            raise Overloaded(self.retry_after_s) from None
+        return pending
+
+    def generate(
+        self, request: GenerationRequest, timeout: float | None = 120.0
+    ) -> GenerationResult:
+        """Blocking submit-and-wait convenience used by the HTTP layer."""
+        return self.submit(request).result(timeout)
+
+    def _validate(self, request: GenerationRequest) -> None:
+        if request.model not in self.registry:
+            raise KeyError(f"unknown model {request.model!r}")
+        unknown = set(request.params) - ALLOWED_PARAMS
+        if unknown:
+            raise ValueError(
+                f"unsupported generation params {sorted(unknown)}; "
+                f"allowed: {sorted(ALLOWED_PARAMS)}"
+            )
+        if request.num_nodes is not None and request.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._fulfil(item)
+            finally:
+                self._queue.task_done()
+
+    def _fulfil(self, pending: _Pending) -> None:
+        request = pending.request
+        pending.started_at = time.perf_counter()
+        try:
+            with self.registry.lease(request.model) as model:
+                config = model.generation_config(**dict(request.params))
+                graph = model.generate(
+                    seed=request.seed,
+                    num_nodes=request.num_nodes,
+                    config=config,
+                )
+            self.cache.put(request.key(), graph)
+            now = time.perf_counter()
+            result = GenerationResult(
+                request,
+                graph,
+                False,
+                pending.started_at - pending.submitted_at,
+                now - pending.submitted_at,
+            )
+            self._counters.bump("completed")
+            self._latency.observe(result.total_s)
+            pending.resolve(result)
+        except BaseException as exc:  # surface worker errors to the caller
+            self._counters.bump("failed")
+            pending.fail(exc)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def metrics(self) -> dict:
+        """The ``GET /metrics`` document."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "requests": self._counters.snapshot(),
+            "latency": self._latency.percentiles(),
+            "queue": {
+                "depth": self.queue_depth,
+                "capacity": self.queue_size,
+                "workers": self.workers,
+                "retry_after_s": self.retry_after_s,
+            },
+            "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
+        }

@@ -1,5 +1,7 @@
 """Tests for the bench harness: memory model, rosters, experiment cells."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -128,3 +130,63 @@ class TestCells:
     def test_format_mean_std(self):
         assert format_mean_std([1.0, 2.0, 3.0]) == "2.00±0.82"
         assert format_mean_std([0.5], scale=100) == "50.00±0.00"
+
+
+class TestCheckpointResumeWiring:
+    """Bench cells with ``checkpoint_every`` resume from run_logs/."""
+
+    def _settings(self, tmp_path, **kwargs):
+        return tiny_settings(
+            epochs=8,
+            seeds=1,
+            run_log_dir=tmp_path / "run_logs",
+            checkpoint_every=4,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _fit_starts(settings):
+        import json
+
+        log = Path(settings.run_log_dir) / "CPGAN__toy__test.jsonl"
+        return [
+            json.loads(line)
+            for line in log.read_text().splitlines()
+            if json.loads(line)["event"] == "fit_start"
+        ]
+
+    def test_completed_cell_resumes_into_noop(self, tmp_path):
+        settings = self._settings(tmp_path)
+        dataset = tiny_dataset()
+        first = run_quality_cell("CPGAN", dataset, settings)
+        ckpt = Path(settings.run_log_dir) / "CPGAN__toy__test.ckpt.npz"
+        assert ckpt.exists()
+
+        second = run_quality_cell("CPGAN", dataset, settings)
+        starts = self._fit_starts(settings)
+        assert starts[0]["start_epoch"] == 0
+        # The re-run resumed the finished checkpoint: zero epochs remained.
+        assert starts[-1]["start_epoch"] == settings.epochs
+        # ... and a resumed cell reproduces the original run exactly.
+        assert second == first
+
+    def test_stale_checkpoint_falls_back_to_fresh_fit(self, tmp_path):
+        settings = self._settings(tmp_path)
+        dataset = tiny_dataset()
+        run_quality_cell("CPGAN", dataset, settings)
+        ckpt = Path(settings.run_log_dir) / "CPGAN__toy__test.ckpt.npz"
+        ckpt.write_bytes(b"corrupted mid-write")
+
+        cell = run_quality_cell("CPGAN", dataset, settings)
+        assert not cell.oom
+        assert self._fit_starts(settings)[-1]["start_epoch"] == 0
+        assert ckpt.exists()  # the fresh fit re-wrote a valid checkpoint
+
+    def test_no_checkpoint_kwargs_without_opt_in(self, tmp_path):
+        from repro.bench.harness import _cell_fit_kwargs
+
+        settings = tiny_settings(run_log_dir=tmp_path)  # checkpoint_every=0
+        model = make_model("CPGAN", settings)
+        kwargs = _cell_fit_kwargs(model, "CPGAN", tiny_dataset(), settings)
+        assert "run_log_path" in kwargs
+        assert "checkpoint_path" not in kwargs

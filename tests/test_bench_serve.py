@@ -1,0 +1,87 @@
+"""Smoke test for the serving load harness and its regression gate.
+
+Runs the closed-loop harness in quick mode (4 clients against a tiny
+fitted model on an ephemeral port) and exercises the ``serve_paths``
+tolerance gate both ways, exactly like the hot-path harness tests.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    QUICK_SERVE_SETTINGS,
+    SERVE_SCHEMA_VERSION,
+    check_serve_regression,
+    compare_runs,
+    format_report,
+    load_baseline,
+    run_serve_bench,
+)
+
+SERVE_PATHS = {"latency_p50", "latency_p95", "latency_p99", "inv_throughput"}
+
+
+@pytest.fixture(scope="module")
+def quick_run():
+    return run_serve_bench(QUICK_SERVE_SETTINGS)
+
+
+def test_quick_run_structure(quick_run):
+    assert quick_run["schema"] == SERVE_SCHEMA_VERSION
+    assert set(quick_run["serve_paths"]) == SERVE_PATHS
+    assert quick_run["calibration_matmul_s"] > 0
+    for entry in quick_run["serve_paths"].values():
+        assert entry["seconds"] > 0
+        assert entry["normalized"] > 0
+
+
+def test_all_requests_complete(quick_run):
+    serve = quick_run["serve"]
+    expected = (
+        QUICK_SERVE_SETTINGS.clients * QUICK_SERVE_SETTINGS.requests_per_client
+    )
+    assert serve["completed"] == expected
+    assert serve["throughput_rps"] > 0
+    assert serve["latency_p50_s"] <= serve["latency_p99_s"]
+    # Seeds cycle through unique_seeds < total requests, so the sample
+    # cache must have served some repeats.
+    assert serve["cache_hit_rate"] > 0
+    assert serve["server_requests"]["failed"] == 0
+
+
+def test_roundtrip_baseline_passes(quick_run, tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(quick_run))
+    baseline = load_baseline(
+        path, schema=SERVE_SCHEMA_VERSION, section="serve_paths"
+    )
+    comparisons = compare_runs(
+        baseline, quick_run, tolerance=0.0, section="serve_paths"
+    )
+    assert {c.name for c in comparisons} == SERVE_PATHS
+    assert all(c.ratio == 1.0 for c in comparisons)
+    assert not any(c.regressed for c in comparisons)
+
+
+def test_tampered_baseline_flags_regression(quick_run):
+    fast = copy.deepcopy(quick_run)
+    for entry in fast["serve_paths"].values():
+        entry["normalized"] /= 10.0
+    comparisons = compare_runs(
+        fast, quick_run, tolerance=0.5, section="serve_paths"
+    )
+    assert all(c.regressed for c in comparisons)
+    assert "REGRESSED" in format_report(comparisons)
+
+
+def test_check_serve_regression_end_to_end(quick_run, tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(quick_run))
+    # A generous tolerance keeps this stable on noisy CI machines.
+    ok, comparisons = check_serve_regression(
+        path, settings=QUICK_SERVE_SETTINGS, tolerance=25.0
+    )
+    assert ok
+    assert {c.name for c in comparisons} == SERVE_PATHS

@@ -43,6 +43,54 @@ class TestSynth:
         assert graph.num_nodes > 0
 
 
+class TestServe:
+    def test_no_models_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "models"
+        empty.mkdir()
+        assert main(["serve", "--models-dir", str(empty)]) == 2
+        assert "no models to serve" in capsys.readouterr().err
+
+    def test_invalid_archive_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an archive")
+        assert main(["serve", str(bad)]) == 2
+        assert "bad.npz" in capsys.readouterr().err
+
+    def test_missing_archive_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "ghost.npz")]) == 2
+        assert "ghost.npz" in capsys.readouterr().err
+
+    def test_discover_warns_about_skipped_files(
+        self, graph_file, tmp_path, capsys, monkeypatch
+    ):
+        models = tmp_path / "models"
+        models.mkdir()
+        main(
+            [
+                "fit", str(graph_file), "-o", str(models / "toy.npz"),
+                "--epochs", "2", "--hidden-dim", "16", "--latent-dim", "8",
+            ]
+        )
+        (models / "junk.npz").write_bytes(b"junk")
+        capsys.readouterr()  # drop fit output
+
+        # Intercept the blocking server loop: the command should get as far
+        # as printing its endpoints with the one valid model registered.
+        served = {}
+
+        def fake_serve_forever(service, host, port):
+            served["names"] = service.registry.names()
+
+        monkeypatch.setattr(
+            "repro.serve.serve_forever", fake_serve_forever
+        )
+        assert main(["serve", "--models-dir", str(models), "--port", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "junk.npz" in captured.err
+        assert "/generate" in captured.out
+        assert served["names"] == ("toy",)
+
+
 class TestFitGenerateEvaluate:
     def test_full_pipeline(self, graph_file, tmp_path, capsys):
         model_path = tmp_path / "model.npz"

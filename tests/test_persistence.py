@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import CPGAN, CPGANConfig, load_model, save_model
+from repro.core import (
+    CPGAN,
+    CPGANConfig,
+    CheckpointError,
+    load_model,
+    read_archive_meta,
+    save_model,
+)
+from repro.core.persistence import restore_training_checkpoint, write_archive
 from repro.datasets import community_graph
 
 
@@ -94,3 +102,66 @@ class TestErrors:
         np.savez_compressed(path, **arrays)
         with pytest.raises(ValueError, match="version"):
             load_model(path)
+
+
+class TestCheckpointError:
+    def test_is_value_error_subclass(self):
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_model(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_archive_without_metadata_blob(self, tmp_path):
+        path = tmp_path / "bare.npz"
+        np.savez_compressed(path, weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_model(path)
+
+    def test_missing_parameter_array(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        victim = next(k for k in arrays if k.startswith("encoder_"))
+        del arrays[victim]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointError, match="corrupt or incompatible"):
+            load_model(path)
+
+    def test_load_model_rejects_training_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        write_archive(
+            path,
+            {"x": np.zeros(1)},
+            {"kind": "training_checkpoint", "version": 1},
+        )
+        with pytest.raises(CheckpointError, match="checkpoint"):
+            load_model(path)
+
+    def test_restore_rejects_model_archive(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with pytest.raises(CheckpointError, match="not a training checkpoint"):
+            restore_training_checkpoint(CPGAN(tiny_config()), path)
+
+    def test_read_archive_meta_is_lazy_and_typed(self, trained, tmp_path):
+        model, __ = trained
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        meta = read_archive_meta(path)
+        assert meta["num_nodes"] == 70
+        assert meta["num_edges"] == model._require_fitted().num_edges
+        assert meta["provenance"]["epochs_trained"] == 15
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"nope")
+        with pytest.raises(CheckpointError):
+            read_archive_meta(bad)

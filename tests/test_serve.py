@@ -1,0 +1,395 @@
+"""Tests for repro.serve: cache, registry, service, and the HTTP API."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import CPGAN, CPGANConfig, CheckpointError, save_model
+from repro.core.persistence import write_archive
+from repro.datasets import community_graph
+from repro.serve import (
+    GenerationRequest,
+    GenerationService,
+    ModelRegistry,
+    Overloaded,
+    SampleCache,
+    build_server,
+    cache_key,
+)
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        input_dim=4, node_embedding_dim=8, hidden_dim=16, latent_dim=8,
+        pool_size=8, epochs=6, sample_size=80, seed=0,
+    )
+    defaults.update(kwargs)
+    return CPGANConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def fitted(tmp_path_factory):
+    """One fitted tiny model saved as an archive, shared by the module."""
+    graph, __ = community_graph(60, 3, 5.0, seed=0)
+    model = CPGAN(tiny_config()).fit(graph)
+    path = tmp_path_factory.mktemp("models") / "toy.npz"
+    save_model(model, path)
+    return model, path
+
+
+@pytest.fixture()
+def registry(fitted):
+    __, path = fitted
+    reg = ModelRegistry(max_loaded=2)
+    reg.register("toy", path)
+    return reg
+
+
+class TestSampleCache:
+    def test_key_is_param_order_insensitive(self):
+        a = cache_key("m", 1, None, {"noise_scale": 0.5, "latent_source": "prior"})
+        b = cache_key("m", 1, None, {"latent_source": "prior", "noise_scale": 0.5})
+        assert a == b
+
+    def test_key_distinguishes_requests(self):
+        base = cache_key("m", 1, None, {})
+        assert cache_key("m", 2, None, {}) != base
+        assert cache_key("other", 1, None, {}) != base
+        assert cache_key("m", 1, 50, {}) != base
+        assert cache_key("m", 1, None, {"noise_scale": 2.0}) != base
+
+    def test_hit_miss_accounting(self, fitted):
+        model, __ = fitted
+        graph = model.generate(seed=0)
+        cache = SampleCache(capacity=4)
+        key = cache_key("toy", 0, None, {})
+        assert cache.get(key) is None
+        cache.put(key, graph)
+        assert cache.get(key) is graph
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self, fitted):
+        model, __ = fitted
+        graph = model.generate(seed=0)
+        cache = SampleCache(capacity=2)
+        cache.put(("a",), graph)
+        cache.put(("b",), graph)
+        assert cache.get(("a",)) is graph  # touch "a" so "b" is now LRU
+        cache.put(("c",), graph)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is graph
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables(self, fitted):
+        model, __ = fitted
+        cache = SampleCache(capacity=0)
+        cache.put(("a",), model.generate(seed=0))
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+
+class TestModelRegistry:
+    def test_register_reports_metadata(self, registry, fitted):
+        model, __ = fitted
+        info = registry.describe("toy")
+        assert info["nodes"] == 60
+        assert info["edges"] == model._require_fitted().num_edges
+        assert info["provenance"]["epochs_trained"] == 6
+        assert not info["loaded"]
+
+    def test_register_missing_file(self, tmp_path):
+        reg = ModelRegistry()
+        with pytest.raises(FileNotFoundError):
+            reg.register("ghost", tmp_path / "nope.npz")
+
+    def test_register_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError):
+            ModelRegistry().register("bad", path)
+
+    def test_register_rejects_training_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        write_archive(
+            path,
+            {"x": np.zeros(1)},
+            {"kind": "training_checkpoint", "version": 1},
+        )
+        with pytest.raises(CheckpointError, match="checkpoint"):
+            ModelRegistry().register("ckpt", path)
+
+    def test_discover_skips_bad_files(self, fitted, tmp_path):
+        __, good = fitted
+        directory = tmp_path / "zoo"
+        directory.mkdir()
+        (directory / "good.npz").write_bytes(good.read_bytes())
+        (directory / "broken.npz").write_bytes(b"junk")
+        reg = ModelRegistry()
+        assert reg.discover(directory) == ["good"]
+        assert "good" in reg
+        assert str(directory / "broken.npz") in reg.rejected
+
+    def test_lease_loads_and_releases(self, registry):
+        with registry.lease("toy") as model:
+            assert isinstance(model, CPGAN)
+            assert registry.describe("toy")["refs"] == 1
+        assert registry.describe("toy")["refs"] == 0
+        assert registry.describe("toy")["loaded"]  # stays warm
+        assert registry.stats()["cold_loads"] == 1
+        with registry.lease("toy"):
+            pass
+        assert registry.stats()["warm_acquires"] == 1
+
+    def test_lru_eviction_respects_refcounts(self, fitted, tmp_path):
+        __, path = fitted
+        reg = ModelRegistry(max_loaded=1)
+        reg.register("a", path)
+        reg.register("b", path)
+        model_a = reg.acquire("a")
+        # "a" is pinned (refs=1): acquiring "b" must not evict it.
+        with reg.lease("b"):
+            assert reg.describe("a")["loaded"]
+        reg.release("a")
+        # Now "a" has refs=0 and is LRU; the next acquire evicts it.
+        with reg.lease("b"):
+            assert not reg.describe("a")["loaded"]
+        assert reg.stats()["evictions"] >= 1
+        assert model_a is not None
+
+    def test_release_unacquired_raises(self, registry):
+        with pytest.raises(RuntimeError):
+            registry.release("toy")
+
+    def test_unknown_model_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.acquire("nope")
+
+
+class TestGenerationService:
+    def test_matches_direct_generation(self, registry, fitted):
+        model, __ = fitted
+        with GenerationService(registry, workers=2) as service:
+            result = service.generate(GenerationRequest("toy", seed=5))
+        assert result.graph == model.generate(seed=5)
+        assert not result.cache_hit
+
+    def test_bit_identical_across_worker_pool_sizes(self, fitted):
+        """Acceptance: same request, workers=1 vs workers=4, same bits."""
+        __, path = fitted
+        seeds = [0, 1, 2, 3, 4, 5, 6, 7]
+        edge_sets = {}
+        for workers in (1, 4):
+            reg = ModelRegistry()
+            reg.register("toy", path)
+            # cache_entries=0 forces every request through a worker.
+            with GenerationService(
+                reg, workers=workers, cache_entries=0
+            ) as service:
+                pendings = [
+                    service.submit(GenerationRequest("toy", seed=s))
+                    for s in seeds
+                ]
+                edge_sets[workers] = [
+                    p.result(60.0).graph.edge_array() for p in pendings
+                ]
+        for one, four in zip(edge_sets[1], edge_sets[4]):
+            np.testing.assert_array_equal(one, four)
+
+    def test_repeat_request_hits_cache(self, registry):
+        with GenerationService(registry, workers=1) as service:
+            first = service.generate(GenerationRequest("toy", seed=9))
+            second = service.generate(GenerationRequest("toy", seed=9))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.graph is first.graph
+        assert service.metrics()["cache"]["hits"] == 1
+
+    def test_param_overrides_apply_per_request(self, registry, fitted):
+        model, __ = fitted
+        request = GenerationRequest(
+            "toy", seed=3, params={"latent_source": "prior"}
+        )
+        with GenerationService(registry, workers=1) as service:
+            result = service.generate(request)
+        cfg = model.generation_config(latent_source="prior")
+        assert result.graph == model.generate(seed=3, config=cfg)
+        # Shared model state must be untouched by the override.
+        assert model.config.latent_source == tiny_config().latent_source
+
+    def test_rejects_unknown_param(self, registry):
+        service = GenerationService(registry)
+        with pytest.raises(ValueError, match="epochs"):
+            service.submit(GenerationRequest("toy", params={"epochs": 1}))
+
+    def test_rejects_unknown_model(self, registry):
+        service = GenerationService(registry)
+        with pytest.raises(KeyError):
+            service.submit(GenerationRequest("nope"))
+
+    def test_backpressure_when_queue_full(self, registry):
+        """Acceptance: a full queue rejects immediately, without blocking."""
+        service = GenerationService(
+            registry, workers=1, queue_size=2, retry_after_s=0.25
+        )
+        # No workers running yet: the queue fills deterministically.
+        pending = [
+            service.submit(GenerationRequest("toy", seed=s)) for s in (0, 1)
+        ]
+        with pytest.raises(Overloaded) as excinfo:
+            service.submit(GenerationRequest("toy", seed=2))
+        assert excinfo.value.retry_after_s == 0.25
+        assert service.metrics()["requests"]["rejected"] == 1
+        # Starting the workers drains the backlog.
+        service.start()
+        for p in pending:
+            p.result(60.0)
+        service.stop()
+        assert service.queue_depth == 0
+
+
+@pytest.fixture(scope="module")
+def http_stack(fitted):
+    """A full registry+service+HTTP stack on an ephemeral port."""
+    __, path = fitted
+    reg = ModelRegistry()
+    reg.register("toy", path)
+    service = GenerationService(reg, workers=2, queue_size=8)
+    server = build_server(service, port=0)
+    import threading
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    port = server.server_address[1]
+    yield f"http://127.0.0.1:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.stop(drain=False)
+    thread.join(timeout=5)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def _post(url, payload):
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode()), {}
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), dict(error.headers)
+
+
+class TestHTTPAPI:
+    def test_healthz(self, http_stack):
+        base, __ = http_stack
+        status, payload = _get(base + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["models"] == 1
+
+    def test_models_listing(self, http_stack):
+        base, __ = http_stack
+        status, payload = _get(base + "/models")
+        assert status == 200
+        (info,) = payload["models"]
+        assert info["name"] == "toy"
+        assert info["nodes"] == 60
+
+    def test_generate_round_trip(self, http_stack, fitted):
+        model, __ = fitted
+        base, __ = http_stack
+        status, payload, __ = _post(base + "/generate", {"model": "toy", "seed": 4})
+        assert status == 200
+        expected = model.generate(seed=4)
+        assert payload["num_nodes"] == expected.num_nodes
+        assert payload["num_edges"] == expected.num_edges
+        np.testing.assert_array_equal(
+            np.asarray(payload["edges"]), expected.edge_array()
+        )
+
+    def test_generate_repeat_is_cache_hit(self, http_stack):
+        base, __ = http_stack
+        __, first, __ = _post(base + "/generate", {"model": "toy", "seed": 11})
+        __, second, __ = _post(base + "/generate", {"model": "toy", "seed": 11})
+        assert second["cache_hit"]
+        assert second["edges"] == first["edges"]
+
+    def test_unknown_model_404(self, http_stack):
+        base, __ = http_stack
+        status, payload, __ = _post(base + "/generate", {"model": "nope"})
+        assert status == 404
+        assert "nope" in payload["error"]
+
+    def test_bad_json_400(self, http_stack):
+        base, __ = http_stack
+        status, __, __ = _post(base + "/generate", b"{not json")
+        assert status == 400
+
+    def test_unknown_field_400(self, http_stack):
+        base, __ = http_stack
+        status, payload, __ = _post(
+            base + "/generate", {"model": "toy", "temperature": 2.0}
+        )
+        assert status == 400
+        assert "temperature" in payload["error"]
+
+    def test_unknown_endpoint_404(self, http_stack):
+        base, __ = http_stack
+        status, payload = _get(base + "/metricz")
+        assert status == 404
+        assert "metricz" in payload["error"]
+
+    def test_metrics_document(self, http_stack):
+        base, __ = http_stack
+        status, payload = _get(base + "/metrics")
+        assert status == 200
+        for section in ("requests", "latency", "queue", "cache", "registry"):
+            assert section in payload
+        assert payload["queue"]["workers"] == 2
+
+    def test_overloaded_returns_503_with_retry_after(self, fitted):
+        """Acceptance: full queue → 503 + Retry-After, not a hang."""
+        import threading
+
+        __, path = fitted
+        reg = ModelRegistry()
+        reg.register("toy", path)
+        service = GenerationService(
+            reg, workers=1, queue_size=1, retry_after_s=0.5
+        )
+        server = build_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            # Workers not started: one submit fills the queue for sure.
+            backlog = service.submit(GenerationRequest("toy", seed=0))
+            status, payload, headers = _post(
+                base + "/generate", {"model": "toy", "seed": 1}
+            )
+            assert status == 503
+            assert payload["retry_after_s"] == 0.5
+            assert headers.get("Retry-After") == "0.5"
+            # Draining afterwards completes the queued request.
+            service.start()
+            backlog.result(60.0)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop(drain=False)
+            thread.join(timeout=5)
