@@ -42,6 +42,7 @@ def _settings_from_args(args: argparse.Namespace) -> HotpathSettings:
         scale=args.scale if args.scale is not None else base.scale,
         mmd_graphs=base.mmd_graphs,
         seed=base.seed,
+        threads=args.threads if args.threads is not None else base.threads,
     )
 
 
@@ -50,6 +51,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="tiny smoke run")
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="generation_threads for the generation hot paths (output is "
+        "bit-identical at any value; this is a wall-clock axis)",
+    )
     parser.add_argument(
         "--output",
         type=Path,

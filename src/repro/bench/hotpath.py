@@ -70,6 +70,9 @@ class HotpathSettings:
     scale: float = 0.06       # Citeseer stand-in fraction (~200 nodes)
     mmd_graphs: int = 6       # graphs per side for the MMD timing
     seed: int = 0
+    threads: int = 1          # generation_threads for the sparse top-k
+    #   kernel on the generation/generation_large paths; the output graphs
+    #   are bit-identical at every value, so this is a pure wall-clock axis
 
 
 DEFAULT_SETTINGS = HotpathSettings()
@@ -140,7 +143,9 @@ def _time_generation(
     model = _fitted_model(graph, settings)
     # Per-call config snapshot (the thread-safe serving entry) instead of
     # mutating the shared model.config.
-    cfg = model.generation_config(latent_source="prior")
+    cfg = model.generation_config(
+        latent_source="prior", generation_threads=settings.threads
+    )
     num_nodes = graph.num_nodes * node_factor
     counter = {"seed": 0}
 

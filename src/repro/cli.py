@@ -143,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="Retry-After hint returned with backpressure responses",
     )
+    p_serve.add_argument(
+        "--generation-threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scoring threads per request for the sparse top-k kernel "
+        "(results are bit-identical at any thread count; raise this for "
+        "intra-request parallelism on multi-core hosts)",
+    )
     return parser
 
 
@@ -260,6 +269,7 @@ def _cmd_serve(args) -> int:
         queue_size=args.queue_size,
         cache_entries=args.cache_entries,
         retry_after_s=args.retry_after,
+        generation_threads=args.generation_threads,
     )
     print(f"Serving {len(registry.names())} model(s): {', '.join(registry.names())}")
     print(f"  http://{args.host}:{args.port}/generate  (POST)")

@@ -69,6 +69,11 @@ class CPGANConfig:
     #   random matrix).
     candidate_factor: float = 4.0  # K = candidate_factor × target_edges —
     #   the sparse pipeline's candidate-buffer headroom over the edge budget
+    generation_threads: int = 1  # scoring threads for the sparse top-k
+    #   kernel (1 = serial).  Row-blocks are independent and NumPy releases
+    #   the GIL inside the block matmuls; the fold stays in deterministic
+    #   block order, so generated graphs are bit-identical at every thread
+    #   count — this is purely a wall-clock knob.
 
     seed: int = 0
 
@@ -85,6 +90,8 @@ class CPGANConfig:
             raise ValueError("generation_mode must be 'sparse' or 'dense'")
         if self.candidate_factor < 1.0:
             raise ValueError("candidate_factor must be >= 1")
+        if self.generation_threads < 1:
+            raise ValueError("generation_threads must be >= 1")
         if not self.use_hierarchy:
             self.num_levels = 1
 

@@ -13,6 +13,8 @@ the CPGAN-C ablation variant of Table VI.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from .. import nn
@@ -26,23 +28,107 @@ __all__ = ["GraphDecoder", "topk_pair_candidates"]
 #: n ~ 100k while the matmuls stay large enough to amortise BLAS overhead.
 _SCORE_ROW_BLOCK = 256
 
+#: Relative + absolute slack added to the Cauchy–Schwarz logit bound before
+#: a block is pruned unscored.  The true dot products are computed in float
+#: arithmetic, so the computed logit can exceed the computed norm product
+#: by a few ulps; the margin is orders of magnitude larger than that
+#: rounding while still far below any score gap that matters.
+_BOUND_SLACK = 1e-6
+
+#: Scored-but-empty marker: the block was scored and the logit pre-cut
+#: left no survivors (distinct from ``None`` = skipped unscored).
+_NO_SURVIVORS = object()
+
+
+def _block_triu_logits(g: np.ndarray, n: int, start: int, stop: int) -> np.ndarray:
+    """Upper-triangle logits of one row-block, in row-major pair order.
+
+    Pure function of ``(g, n, start, stop)`` — the same call produces the
+    same bits no matter which thread runs it or what runs beside it, which
+    is what lets the parallel kernel stay bit-identical to the serial one.
+    Row ``r`` contributes columns ``r+1..n-1``; concatenating the row
+    slices is one contiguous copy pass, no n-wide boolean mask and no
+    fancy-index gather.
+    """
+    logits = g[start:stop] @ g.T
+    return np.concatenate(
+        [logits[i, start + i + 1 :] for i in range(stop - start)]
+    )
+
+
+def _block_pairs_all(n: int, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+    """All upper-triangle ``(u, v)`` pairs of a row-block, row-major."""
+    rows = np.arange(start, stop)
+    counts = n - rows - 1
+    u = np.repeat(rows, counts)
+    ends = np.cumsum(counts)
+    v = np.arange(int(ends[-1]), dtype=np.int64)
+    v -= np.repeat(ends - counts, counts)
+    v += u
+    v += 1
+    return u, v
+
+
+def _logit_cut(threshold: float) -> float:
+    """A logit-space lower bound for score-space ``s >= threshold``.
+
+    Conservative: every entry with ``sigmoid(x) >= threshold`` satisfies
+    ``x >= cut``, so filtering logits at ``cut`` before the sigmoid drops
+    only entries the exact score-space filter would drop anyway.  The
+    margin swamps the float error of the ``log`` inversion; saturated
+    thresholds (``sigmoid == 1.0`` exactly, i.e. logits above ~36.7) fall
+    back to a fixed cut below the saturation boundary.
+    """
+    if threshold <= 0.0:
+        return -np.inf
+    if threshold >= 1.0:
+        return 36.0
+    cut = float(np.log(threshold / (1.0 - threshold)))
+    return cut - (_BOUND_SLACK * abs(cut) + _BOUND_SLACK)
+
 
 def topk_pair_candidates(
-    g: np.ndarray, k: int, row_block: int = _SCORE_ROW_BLOCK
+    g: np.ndarray,
+    k: int,
+    row_block: int = _SCORE_ROW_BLOCK,
+    threads: int = 1,
+    _stats: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact global top-``k`` node pairs by decoder score, without the n×n.
 
     Computes ``sigmoid(g @ g.T)`` in row-blocks and folds each block's
     upper-triangle entries through ``np.argpartition`` into a bounded
     candidate buffer, so peak additional memory is O(row_block · n + k)
-    instead of O(n²).  Returns ``(u, v, score)`` with ``u < v`` — the same
-    pairs the dense ``sigmoid(g @ g.T)[triu]`` top-k would produce; ties at
-    the k-th score are resolved toward the larger upper-triangle index,
-    matching the dense assembly path's historical ordering.  Scores are
-    bit-identical to the dense matrix entries when ``row_block >= n`` (one
-    block = the full matmul); with smaller blocks BLAS blocking can shift
-    individual scores by an ulp, which never changes the selected pairs in
-    practice.
+    instead of O(n²).  Returns ``(u, v, score)`` with ``u < v``, sorted by
+    ``(u, v)`` — the same pairs the dense ``sigmoid(g @ g.T)[triu]`` top-k
+    would produce; ties at the k-th score are resolved toward the larger
+    upper-triangle index, matching the dense assembly path's historical
+    ordering.  Scores are bit-identical to the dense matrix entries when
+    ``row_block >= n`` (one block = the full matmul); with smaller blocks
+    BLAS blocking can shift individual scores by an ulp, which never
+    changes the selected pairs in practice.
+
+    **Threshold carry.**  Once the candidate buffer holds ``k`` entries,
+    its minimum score is a running threshold: entries strictly below it
+    can never enter the buffer (ties at the k-th score break toward the
+    larger upper-triangle index, so equality must still fold).  Each
+    subsequent block is pre-filtered against the threshold — in logit
+    space, *before* paying for the sigmoid or for pair-index construction
+    — and a whole block is skipped unscored when the Cauchy–Schwarz bound
+    ``max‖g_u‖ · max‖g_v‖`` over its rows proves every score falls below
+    the threshold.  Blocks are processed in descending-bound order so the
+    threshold rises as early as possible; the final buffer is the exact
+    top-``k`` of all pairs under any processing order, because every cut
+    only drops entries the fold would have discarded.
+
+    **Parallelism.**  With ``threads > 1`` row-blocks are scored on a
+    :class:`~concurrent.futures.ThreadPoolExecutor` (the block matmuls
+    release the GIL inside BLAS) while the main thread folds completed
+    blocks in the same deterministic bound-descending order.  Scoring a
+    block is a pure function of its inputs and all pruning decisions are
+    re-validated at fold time against the fold-order threshold, so the
+    returned buffers are bit-identical across all thread counts.  Peak
+    memory grows to O(threads · row_block · n + k).
     """
     from ..graphs.assembly import _fold_topk, _triu_rank
 
@@ -50,42 +136,143 @@ def topk_pair_candidates(
     n = g.shape[0]
     total_pairs = n * (n - 1) // 2
     k = int(min(max(k, 0), total_pairs))
-    if k == 0:
+    if _stats is not None:
+        _stats.update(blocks=0, scored=0, pruned_unscored=0, folds_skipped=0)
+    if k == 0 or n <= 1:
         empty = np.zeros(0)
         return empty.astype(np.int64), empty.astype(np.int64), empty
+    threads = max(int(threads), 1)
+    starts = range(0, n - 1, row_block)
+
+    # Per-row feature norms for the block score bound: every score in the
+    # block rows [start, stop) is sigmoid(g_u · g_v) with v > start, so
+    # sigmoid(max ‖g_u‖ · max_{j > start} ‖g_j‖) bounds the block from
+    # above (sigmoid is monotone, including as a float function).  The
+    # slack covers the float gap between a computed dot product and the
+    # computed norm product before the bound is trusted to prune.
+    norms = np.sqrt(np.einsum("ij,ij->i", g, g))
+    suffix_max = np.maximum.accumulate(norms[::-1])[::-1]
+
+    def block_bound_score(start: int, stop: int) -> float:
+        bound = norms[start:stop].max() * suffix_max[start + 1]
+        bound += _BOUND_SLACK * abs(bound) + _BOUND_SLACK
+        return float(_stable_sigmoid(np.array(bound)))
+
+    blocks = [(start, min(start + row_block, n)) for start in starts]
+    bounds = [block_bound_score(start, stop) for start, stop in blocks]
+    # Highest-bound block first: it is the likeliest to contain the global
+    # top scores, so the threshold saturates after one fold and the
+    # remaining blocks hit the cheap pre-filter (or are skipped outright).
+    # np.argsort is stable, so bound ties keep ascending block order.
+    block_order = np.argsort(np.negative(bounds), kind="stable")
+    blocks = [blocks[i] for i in block_order]
+    # Seed split: carve a prefix of the first block just big enough to
+    # overfill the buffer several times (~8k pairs), so a threshold exists
+    # before any full block is scored and even the first block's remainder
+    # goes through the logit pre-filter.  The multiplier trades seed size
+    # against threshold quality: the seed threshold is the k-th best of
+    # ~8k scores, which already cuts the survivor rate to ~k/8k before the
+    # first full fold tightens it further.  A split never changes the
+    # result — the final buffer is the exact top-k of all pairs under any
+    # block partition of the upper triangle.
+    seed_start, seed_stop = blocks[0]
+    pair_ends = np.cumsum(n - np.arange(seed_start, seed_stop) - 1)
+    seed_rows = int(np.searchsorted(pair_ends, 8 * k)) + 1
+    if seed_rows < seed_stop - seed_start:
+        blocks[0:1] = [
+            (seed_start, seed_start + seed_rows),
+            (seed_start + seed_rows, seed_stop),
+        ]
+    bounds = [block_bound_score(start, stop) for start, stop in blocks]
+    if _stats is not None:
+        _stats["blocks"] = len(blocks)
+
     buf_u: np.ndarray | None = None
     buf_v: np.ndarray | None = None
     buf_s: np.ndarray | None = None
-    for start in range(0, n - 1, row_block):
-        stop = min(start + row_block, n)
-        rows = np.arange(start, stop)
-        logits = g[start:stop] @ g.T
-        # Enumerate the block's upper-triangle pairs arithmetically (row r
-        # contributes columns r+1..n-1, row-major) — no n-wide boolean mask.
-        counts = n - rows - 1
-        u = np.repeat(rows, counts)
-        ends = np.cumsum(counts)
-        v = np.arange(int(ends[-1]), dtype=np.int64)
-        v -= np.repeat(ends - counts, counts)
-        v += u
-        v += 1
-        flat = u * n
-        flat -= start * n
-        flat += v
-        # Sigmoid only the upper-triangle entries (elementwise, so still
-        # bit-identical to transforming the full block) — half the work.
-        # The block logits and index scratch are dropped before the fold so
-        # at most three block-sized arrays are ever live at once.
-        s = logits.ravel()[flat]  # triu_indices order
-        del logits, flat
-        s = _stable_sigmoid(s, overwrite_input=True)
+    # ``threshold`` is written only by the fold below (single-threaded, in
+    # deterministic block order) and is monotone non-decreasing, so any
+    # stale value a scoring task reads is a valid — merely weaker — bound.
+    threshold: float | None = None
+
+    def fold(u: np.ndarray, v: np.ndarray, s: np.ndarray) -> None:
+        nonlocal buf_u, buf_v, buf_s, threshold
+        if threshold is not None:
+            keep = s >= threshold
+            if not keep.any():
+                if _stats is not None:
+                    _stats["folds_skipped"] += 1
+                return
+            if not keep.all():
+                u, v, s = u[keep], v[keep], s[keep]
         if buf_u is not None:
             u = np.concatenate([buf_u, u])
             v = np.concatenate([buf_v, v])
             s = np.concatenate([buf_s, s])
         keep = _fold_topk(s, lambda idx: _triu_rank(u[idx], v[idx], n), k)
         buf_u, buf_v, buf_s = u[keep], v[keep], s[keep]
-    return buf_u, buf_v, buf_s
+        if buf_s.size == k:
+            threshold = float(buf_s.min())
+
+    def score_task(block_index: int):
+        start, stop = blocks[block_index]
+        snapshot = threshold
+        if snapshot is not None and bounds[block_index] < snapshot:
+            return None
+        if _stats is not None:
+            _stats["scored"] += 1
+        if snapshot is None:
+            s_logit = _block_triu_logits(g, n, start, stop)
+            u, v = _block_pairs_all(n, start, stop)
+            return u, v, _stable_sigmoid(s_logit, overwrite_input=True)
+        # Logit-space pre-cut, applied to the raw matmul block before any
+        # triangle extraction: conservative, so the fold's exact
+        # score-space filter sees every possible contender, while the
+        # copy into pair order, the sigmoid and the pair-index
+        # construction only run on the (typically tiny) surviving subset.
+        # Survivors come out in ascending flat order = row-major pair
+        # order, the same enumeration the unfiltered branch produces.
+        flat = (g[start:stop] @ g.T).ravel()
+        idx = np.flatnonzero(flat >= _logit_cut(snapshot))
+        if idx.size:
+            u, v = np.divmod(idx, n)
+            keep = v > u + start  # upper triangle only
+            idx = idx[keep]
+        if idx.size == 0:
+            return _NO_SURVIVORS
+        u = u[keep]
+        u += start
+        return u, v[keep], _stable_sigmoid(flat[idx], overwrite_input=True)
+
+    def fold_result(result) -> None:
+        if result is None:
+            if _stats is not None:
+                _stats["pruned_unscored"] += 1
+        elif result is _NO_SURVIVORS:
+            if _stats is not None:
+                _stats["folds_skipped"] += 1
+        else:
+            fold(*result)
+
+    if threads == 1:
+        for block_index in range(len(blocks)):
+            fold_result(score_task(block_index))
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(score_task, block_index)
+                for block_index in range(len(blocks))
+            ]
+            # Fold strictly in submission (bound-descending) order: the
+            # threshold sequence — and therefore every pruning decision
+            # the fold re-validates — is identical to the serial kernel's.
+            for future in futures:
+                fold_result(future.result())
+    # Canonical (u, v) output order: the fold's internal ordering depends
+    # on which blocks were pruned; the sort makes the returned buffers a
+    # pure function of the selected pair set.
+    order = np.lexsort((buf_v, buf_u))
+    return buf_u[order], buf_v[order], buf_s[order]
 
 
 class GraphDecoder(nn.Module):

@@ -459,7 +459,9 @@ class CPGAN(GraphGenerator):
         ``config.generation_mode == 'dense'`` or the assembly strategy is
         ``bernoulli``; the dense reference path is limited to
         ``_DENSE_GENERATION_LIMIT`` nodes and produces the same graph as
-        the sparse pipeline for the same seed.
+        the sparse pipeline for the same seed.  ``config.generation_threads``
+        parallelises the sparse kernel's row-block scoring; the result is
+        bit-identical at every thread count.
 
         **Thread safety.**  On a fitted model this method is safe to call
         from concurrent threads: it only *reads* the fitted snapshot
@@ -552,10 +554,14 @@ class CPGAN(GraphGenerator):
         is exact, so any K ≥ target_edges reproduces the dense selection —
         the headroom only exists so downstream consumers (diagnostics,
         alternative strategies) see more than the bare minimum.
+        ``cfg.generation_threads`` parallelises the kernel's row-block
+        scoring without changing a single output bit.
         """
         cfg = cfg or self.config
         k = int(np.ceil(cfg.candidate_factor * target_edges))
-        return topk_pair_candidates(g, max(k, target_edges))
+        return topk_pair_candidates(
+            g, max(k, target_edges), threads=cfg.generation_threads
+        )
 
     def _score_rows_fn(self, g: np.ndarray):
         """Row-scoring callback for the categorical repair pass.

@@ -79,6 +79,10 @@ def _fold_topk(
     the keys are only needed for the (usually tiny) tied subset, so lazy
     evaluation skips a full-array pass per fold.
     """
+    if k <= 0:
+        # np.argpartition(vals, -0) partitions at index 0 and the [-0:]
+        # slice is the whole array — an O(n) pass for an empty answer.
+        return np.zeros(0, dtype=np.int64)
     if k >= vals.size:
         return np.arange(vals.size)
     part = np.argpartition(vals, -k)[-k:]

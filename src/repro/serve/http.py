@@ -21,6 +21,7 @@ on the pending future).
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .registry import ModelRegistry
@@ -129,13 +130,18 @@ def _make_handler(service: GenerationService):
                 self._json(400, {"error": str(exc)})
                 return
             except Overloaded as exc:
+                # RFC 9110 §10.2.3: Retry-After carries integer seconds —
+                # clients may ignore a fractional value.  Round up (never
+                # to 0, which would invite an immediate retry storm); the
+                # precise hint stays in the JSON body.
+                retry_after = max(1, math.ceil(exc.retry_after_s))
                 self._json(
                     503,
                     {
                         "error": "server overloaded, request queue is full",
                         "retry_after_s": exc.retry_after_s,
                     },
-                    headers={"Retry-After": f"{exc.retry_after_s:g}"},
+                    headers={"Retry-After": str(retry_after)},
                 )
                 return
             except TimeoutError as exc:

@@ -148,15 +148,19 @@ class GenerationService:
         cache_entries: int = 128,
         retry_after_s: float = 0.5,
         latency_window: int = 4096,
+        generation_threads: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if generation_threads < 1:
+            raise ValueError("generation_threads must be >= 1")
         self.registry = registry
         self.workers = workers
         self.queue_size = queue_size
         self.retry_after_s = retry_after_s
+        self.generation_threads = generation_threads
         self.cache = SampleCache(cache_entries)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._threads: list[threading.Thread] = []
@@ -164,7 +168,11 @@ class GenerationService:
         self._counters = Counters(
             ("submitted", "completed", "failed", "rejected", "cache_hits")
         )
-        self.started_at = time.time()
+        # Uptime is measured on the monotonic clock: a wall-clock step
+        # (NTP slew, manual reset) must not make /metrics jump or go
+        # negative.  The wall-clock instant is kept separately for display.
+        self.started_at_unix = time.time()
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -264,7 +272,14 @@ class GenerationService:
         pending.started_at = time.perf_counter()
         try:
             with self.registry.lease(request.model) as model:
-                config = model.generation_config(**dict(request.params))
+                # Intra-request parallelism is a service-level deployment
+                # knob, not a request parameter: the sparse kernel is
+                # bit-identical at every thread count, so exposing it to
+                # clients would only fragment the sample-cache key space.
+                config = model.generation_config(
+                    generation_threads=self.generation_threads,
+                    **dict(request.params),
+                )
                 graph = model.generate(
                     seed=request.seed,
                     num_nodes=request.num_nodes,
@@ -296,7 +311,8 @@ class GenerationService:
     def metrics(self) -> dict:
         """The ``GET /metrics`` document."""
         return {
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "started_at_unix": self.started_at_unix,
             "requests": self._counters.snapshot(),
             "latency": self._latency.percentiles(),
             "queue": {
@@ -304,6 +320,7 @@ class GenerationService:
                 "capacity": self.queue_size,
                 "workers": self.workers,
                 "retry_after_s": self.retry_after_s,
+                "generation_threads": self.generation_threads,
             },
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),

@@ -232,6 +232,44 @@ class TestGenerationService:
         with pytest.raises(KeyError):
             service.submit(GenerationRequest("nope"))
 
+    def test_generation_threads_bit_identical(self, fitted):
+        """The service-level thread knob never changes generated bits."""
+        __, path = fitted
+        edge_sets = {}
+        for threads in (1, 4):
+            reg = ModelRegistry()
+            reg.register("toy", path)
+            with GenerationService(
+                reg, workers=1, cache_entries=0, generation_threads=threads
+            ) as service:
+                edge_sets[threads] = [
+                    service.generate(
+                        GenerationRequest("toy", seed=s)
+                    ).graph.edge_array()
+                    for s in (0, 3)
+                ]
+        for serial, threaded in zip(edge_sets[1], edge_sets[4]):
+            np.testing.assert_array_equal(serial, threaded)
+
+    def test_generation_threads_validated(self, registry):
+        with pytest.raises(ValueError, match="generation_threads"):
+            GenerationService(registry, generation_threads=0)
+
+    def test_metrics_uptime_and_start_time(self, registry):
+        import time
+
+        before = time.time()
+        service = GenerationService(registry)
+        metrics = service.metrics()
+        # Uptime comes from the monotonic clock (immune to wall-clock
+        # steps); the absolute start instant is reported separately.
+        assert 0.0 <= metrics["uptime_s"] < 60.0
+        assert before <= metrics["started_at_unix"] <= time.time()
+        later = service.metrics()
+        assert later["uptime_s"] >= metrics["uptime_s"]
+        assert later["started_at_unix"] == metrics["started_at_unix"]
+        assert metrics["queue"]["generation_threads"] == 1
+
     def test_backpressure_when_queue_full(self, registry):
         """Acceptance: a full queue rejects immediately, without blocking."""
         service = GenerationService(
@@ -384,7 +422,9 @@ class TestHTTPAPI:
             )
             assert status == 503
             assert payload["retry_after_s"] == 0.5
-            assert headers.get("Retry-After") == "0.5"
+            # RFC 9110: the header is integer seconds, rounded up and
+            # never 0; the fractional hint lives in the JSON body.
+            assert headers.get("Retry-After") == "1"
             # Draining afterwards completes the queued request.
             service.start()
             backlog.result(60.0)

@@ -145,6 +145,111 @@ class TestKernelExactness:
         assert u.size == v.size == s.size == 0
 
 
+class TestThreadBitIdentity:
+    """The parallel kernel is bit-identical to the serial one.
+
+    Scoring a row-block is a pure function of its inputs and every pruning
+    decision is re-validated at fold time in deterministic block order, so
+    thread count must never change a single bit of the output buffers —
+    this is what lets ``generation_threads`` be a pure wall-clock knob.
+    """
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_kernel_buffers_identical(self, threads):
+        rng = np.random.default_rng(17)
+        for n, k, row_block in [(37, 50, 8), (200, 1056, 64), (120, 400, 16)]:
+            g = rng.normal(size=(n, 8))
+            serial = topk_pair_candidates(g, k, row_block=row_block, threads=1)
+            parallel = topk_pair_candidates(
+                g, k, row_block=row_block, threads=threads
+            )
+            for a, b in zip(serial, parallel):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    def test_threshold_skip_path_engages_and_stays_exact(self, threads):
+        """Crafted scores where whole blocks fall below the carried
+        threshold: the norm bound must prune them unscored, and the pruned
+        kernel must still return the exact dense top-k."""
+        g = np.zeros((64, 4))
+        g[:4] = 10.0  # all top pairs live in the first rows
+        stats: dict = {}
+        u, v, s = topk_pair_candidates(
+            g, 5, row_block=4, threads=threads, _stats=stats
+        )
+        assert stats["pruned_unscored"] > 0, "norm-bound skip never fired"
+        ru, rv, rs = TestKernelExactness._dense_reference(g, 5)
+        assert set(zip(u.tolist(), v.tolist())) == set(
+            zip(ru.tolist(), rv.tolist())
+        )
+        # And the buffers are identical to the serial kernel's, bit for bit.
+        su, sv, ss = topk_pair_candidates(g, 5, row_block=4, threads=1)
+        assert np.array_equal(u, su)
+        assert np.array_equal(v, sv)
+        assert np.array_equal(s, ss)
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_generated_graphs_identical_across_threads(self, gru_model, threads):
+        model = gru_model
+        serial_cfg = model.generation_config(
+            latent_source="prior", generation_threads=1
+        )
+        threaded_cfg = model.generation_config(
+            latent_source="prior", generation_threads=threads
+        )
+        for seed in (0, 9):
+            reference = model.generate(seed=seed, num_nodes=150, config=serial_cfg)
+            threaded = model.generate(seed=seed, num_nodes=150, config=threaded_cfg)
+            assert np.array_equal(reference.edge_array(), threaded.edge_array())
+
+    def test_generation_threads_validated(self, gru_model):
+        with pytest.raises(ValueError, match="generation_threads"):
+            gru_model.generation_config(generation_threads=0)
+
+
+class TestDegenerateInputs:
+    """Tiny graphs and empty budgets must not trip the top-k machinery."""
+
+    @pytest.mark.parametrize("threads", [1, 4])
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_kernel_tiny_n(self, n, threads):
+        g = np.random.default_rng(0).normal(size=(n, 4))
+        for k in (0, 1, 5):
+            u, v, s = topk_pair_candidates(g, k, threads=threads)
+            want = min(k, n * (n - 1) // 2)
+            assert u.size == v.size == s.size == want
+            assert u.dtype == v.dtype == np.int64
+            if want:
+                assert (u < v).all()
+
+    def test_fold_topk_k_zero(self):
+        vals = np.array([0.5, 0.9, 0.1])
+        keep = _fold_topk(vals, np.arange(3), 0)
+        assert keep.size == 0
+        assert keep.dtype == np.int64
+
+    def test_assemble_sparse_zero_edges(self):
+        candidates = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+        )
+        graph = asm.assemble_graph_sparse(
+            3, candidates, 0, np.random.default_rng(0),
+            "categorical_topk", score_rows=lambda nodes: np.zeros((len(nodes), 3)),
+        )
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    @pytest.mark.parametrize("num_nodes", [1, 2])
+    def test_generate_tiny_graphs(self, gru_model, num_nodes):
+        cfg = gru_model.generation_config(latent_source="prior")
+        graph = gru_model.generate(seed=1, num_nodes=num_nodes, config=cfg)
+        assert graph.num_nodes == num_nodes
+        assert graph.num_edges <= num_nodes * (num_nodes - 1) // 2
+
+
 class TestRepairProperties:
     """categorical_topk's repair pass: no isolated nodes, budget respected."""
 
