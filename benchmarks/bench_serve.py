@@ -42,6 +42,8 @@ def _settings_from_args(args: argparse.Namespace):
         overrides["requests_per_client"] = args.requests
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.max_batch_size is not None:
+        overrides["max_batch_size"] = args.max_batch_size
     return dataclasses.replace(base, **overrides)
 
 
@@ -53,6 +55,12 @@ def main(argv: list[str] | None = None) -> int:
         "--requests", type=int, default=None, help="requests per client"
     )
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=None,
+        help="micro-batch coalescing bound (1 disables coalescing)",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -110,6 +118,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
         print(f"  {name:<16} {serve[name] * 1e3:8.2f} ms")
+    batching = serve["batching"]
+    print(
+        f"  batching         max={batching['max_batch_size']}  "
+        f"coalesced {batching['coalesced_fraction']:.2f} of "
+        f"{batching['requests']} batched requests  "
+        f"histogram {batching['histogram']}"
+    )
     return 0
 
 

@@ -14,7 +14,12 @@ is comparable across machines.
 Seeds cycle through ``unique_seeds`` values, so the run exercises both the
 cold generation path and the LRU sample cache; a 503 backpressure response
 is honoured by waiting the server's ``Retry-After`` hint and retrying (the
-closed loop never drops a request).
+closed loop never drops a request).  All clients hammer one model, so the
+run is the same-model hot scenario the micro-batching coalescer targets:
+``settings.max_batch_size`` bounds the coalesced batches and the result
+document records the server's batch-size histogram and coalesced-request
+fraction next to the latency percentiles (``--max-batch-size 1`` measures
+the solo path).
 
 Gate a working tree against the committed baseline with
 ``benchmarks/bench_serve.py --check`` (same machinery as the hot-path
@@ -81,6 +86,7 @@ class ServeBenchSettings:
     scale: float = 0.06          # Citeseer stand-in fraction (~200 nodes)
     fit_epochs: int = 2          # enough to initialise a servable model
     seed: int = 0
+    max_batch_size: int = 8      # micro-batch coalescing bound (1 disables)
 
 
 DEFAULT_SERVE_SETTINGS = ServeBenchSettings()
@@ -156,6 +162,7 @@ def run_serve_bench(settings: ServeBenchSettings | None = None) -> dict:
             queue_size=settings.queue_size,
             cache_entries=settings.cache_entries,
             retry_after_s=0.05,
+            max_batch_size=settings.max_batch_size,
         )
         server = build_server(service)
         host, port = server.server_address[:2]
@@ -238,6 +245,7 @@ def run_serve_bench(settings: ServeBenchSettings | None = None) -> dict:
             "backpressure_retries": len(retries),
             "cache_hit_rate": service_metrics["cache"]["hit_rate"],
             "server_requests": service_metrics["requests"],
+            "batching": service_metrics["batching"],
         },
         "serve_paths": {
             name: {

@@ -116,7 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument(
-        "--workers", type=int, default=2, help="generation worker threads"
+        "--workers",
+        type=int,
+        default=None,
+        help="generation worker threads (default: autosized from the host "
+        "CPU count, see repro.serve.autosize_serving)",
     )
     p_serve.add_argument(
         "--queue-size",
@@ -146,11 +150,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--generation-threads",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="scoring threads per request for the sparse top-k kernel "
-        "(results are bit-identical at any thread count; raise this for "
-        "intra-request parallelism on multi-core hosts)",
+        "(results are bit-identical at any thread count; default: "
+        "autosized from the host CPU count)",
+    )
+    p_serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="coalesce up to N queued same-(model, num_nodes, params) "
+        "requests into one micro-batched generation sweep (1 disables "
+        "coalescing; per-request graphs are bit-identical either way)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-request completion deadline; an expired request is "
+        "answered 504",
     )
     return parser
 
@@ -247,7 +268,12 @@ def _cmd_synth(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .core import CheckpointError
-    from .serve import GenerationService, ModelRegistry, serve_forever
+    from .serve import (
+        GenerationService,
+        ModelRegistry,
+        autosize_serving,
+        serve_forever,
+    )
 
     registry = ModelRegistry(max_loaded=args.max_loaded)
     for path in args.models:
@@ -263,15 +289,29 @@ def _cmd_serve(args) -> int:
     if not registry.names():
         print("error: no models to serve", file=sys.stderr)
         return 2
+    autosized = autosize_serving()
+    workers = args.workers if args.workers is not None else autosized["workers"]
+    generation_threads = (
+        args.generation_threads
+        if args.generation_threads is not None
+        else autosized["generation_threads"]
+    )
     service = GenerationService(
         registry,
-        workers=args.workers,
+        workers=workers,
         queue_size=args.queue_size,
         cache_entries=args.cache_entries,
         retry_after_s=args.retry_after,
-        generation_threads=args.generation_threads,
+        generation_threads=generation_threads,
+        max_batch_size=args.max_batch_size,
+        request_timeout_s=args.request_timeout,
     )
     print(f"Serving {len(registry.names())} model(s): {', '.join(registry.names())}")
+    print(
+        f"  workers={workers} generation_threads={generation_threads} "
+        f"max_batch_size={args.max_batch_size} "
+        f"request_timeout={args.request_timeout:g}s"
+    )
     print(f"  http://{args.host}:{args.port}/generate  (POST)")
     print(f"  http://{args.host}:{args.port}/models")
     print(f"  http://{args.host}:{args.port}/healthz")

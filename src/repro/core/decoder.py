@@ -13,6 +13,7 @@ the CPGAN-C ablation variant of Table VI.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -21,7 +22,7 @@ from .. import nn
 from ..nn.tensor import _stable_sigmoid
 from .config import CPGANConfig
 
-__all__ = ["GraphDecoder", "topk_pair_candidates"]
+__all__ = ["GraphDecoder", "topk_pair_candidates", "topk_pair_candidates_batch"]
 
 #: Rows per block in the chunked pairwise-scoring kernel.  Each block costs
 #: O(row_block · n) memory; 256 keeps the working set a few MB even at
@@ -40,20 +41,13 @@ _BOUND_SLACK = 1e-6
 _NO_SURVIVORS = object()
 
 
-def _block_triu_logits(g: np.ndarray, n: int, start: int, stop: int) -> np.ndarray:
-    """Upper-triangle logits of one row-block, in row-major pair order.
-
-    Pure function of ``(g, n, start, stop)`` — the same call produces the
-    same bits no matter which thread runs it or what runs beside it, which
-    is what lets the parallel kernel stay bit-identical to the serial one.
-    Row ``r`` contributes columns ``r+1..n-1``; concatenating the row
-    slices is one contiguous copy pass, no n-wide boolean mask and no
-    fancy-index gather.
-    """
-    logits = g[start:stop] @ g.T
-    return np.concatenate(
-        [logits[i, start + i + 1 :] for i in range(stop - start)]
-    )
+#: Element budget for one stacked scoring matmul in the batched kernel.
+#: A task whose sample group would exceed it is split into sub-stacks, so
+#: peak logit memory stays O(budget) per scoring thread regardless of how
+#: many samples ride in a batch.  Splitting never changes a bit: the
+#: stacked matmul computes each sample's slice with the same GEMM call the
+#: single-sample kernel issues.
+_BATCH_MATMUL_BUDGET = 4_000_000
 
 
 def _block_pairs_all(n: int, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
@@ -85,6 +79,321 @@ def _logit_cut(threshold: float) -> float:
         return 36.0
     cut = float(np.log(threshold / (1.0 - threshold)))
     return cut - (_BOUND_SLACK * abs(cut) + _BOUND_SLACK)
+
+
+def _score_block_logits(
+    logits: np.ndarray,
+    n: int,
+    start: int,
+    stop: int,
+    snapshot: float | None,
+):
+    """Turn one row-block's raw logits into surviving (u, v, score) triples.
+
+    ``logits`` is the block matmul ``g[start:stop] @ g.T`` (one sample's
+    slice of the stacked matmul in the batched kernel — same bits either
+    way, since the stacked matmul issues the identical GEMM per slice).
+    Pure function of ``(logits, n, start, stop, snapshot)``: the same call
+    produces the same bits no matter which thread runs it, which is what
+    lets both kernels stay bit-identical across thread counts and batch
+    compositions.
+    """
+    if snapshot is None:
+        # Row r contributes columns r+1..n-1; concatenating the row slices
+        # is one contiguous copy pass, no n-wide boolean mask and no
+        # fancy-index gather.
+        s_logit = np.concatenate(
+            [logits[i, start + i + 1 :] for i in range(stop - start)]
+        )
+        u, v = _block_pairs_all(n, start, stop)
+        return u, v, _stable_sigmoid(s_logit, overwrite_input=True)
+    # Logit-space pre-cut, applied to the raw matmul block before any
+    # triangle extraction: conservative, so the fold's exact score-space
+    # filter sees every possible contender, while the copy into pair
+    # order, the sigmoid and the pair-index construction only run on the
+    # (typically tiny) surviving subset.  Survivors come out in ascending
+    # flat order = row-major pair order, the same enumeration the
+    # unfiltered branch produces.
+    flat = logits.ravel()
+    idx = np.flatnonzero(flat >= _logit_cut(snapshot))
+    if idx.size:
+        u, v = np.divmod(idx, n)
+        keep = v > u + start  # upper triangle only
+        idx = idx[keep]
+    if idx.size == 0:
+        return _NO_SURVIVORS
+    u = u[keep]
+    u += start
+    return u, v[keep], _stable_sigmoid(flat[idx], overwrite_input=True)
+
+
+class _SampleFold:
+    """One sample's kernel state: block schedule, candidate buffer, threshold.
+
+    The schedule (bound-descending block order plus the seed split of the
+    highest-bound block) is computed exactly as the historical
+    single-sample kernel computed it, per sample — so every sample in a
+    batch scores the same matmul extents, reads the same bounds and folds
+    in the same order as it would served solo, which is what makes the
+    batched kernel bit-identical to S separate single-sample calls.
+    """
+
+    def __init__(self, g: np.ndarray, n: int, k: int, row_block: int) -> None:
+        self.g = g
+        self.n = n
+        self.k = k
+        # Per-row feature norms for the block score bound: every score in
+        # the block rows [start, stop) is sigmoid(g_u · g_v) with
+        # v > start, so sigmoid(max ‖g_u‖ · max_{j > start} ‖g_j‖) bounds
+        # the block from above (sigmoid is monotone, including as a float
+        # function).  The slack covers the float gap between a computed
+        # dot product and the computed norm product before the bound is
+        # trusted to prune.
+        norms = np.sqrt(np.einsum("ij,ij->i", g, g))
+        suffix_max = np.maximum.accumulate(norms[::-1])[::-1]
+
+        def block_bound_score(start: int, stop: int) -> float:
+            bound = norms[start:stop].max() * suffix_max[start + 1]
+            bound += _BOUND_SLACK * abs(bound) + _BOUND_SLACK
+            return float(_stable_sigmoid(np.array(bound)))
+
+        blocks = [
+            (start, min(start + row_block, n))
+            for start in range(0, n - 1, row_block)
+        ]
+        bounds = [block_bound_score(start, stop) for start, stop in blocks]
+        # Highest-bound block first: it is the likeliest to contain the
+        # global top scores, so the threshold saturates after one fold and
+        # the remaining blocks hit the cheap pre-filter (or are skipped
+        # outright).  np.argsort is stable, so bound ties keep ascending
+        # block order.
+        block_order = np.argsort(np.negative(bounds), kind="stable")
+        blocks = [blocks[i] for i in block_order]
+        # Seed split: carve a prefix of the first block just big enough to
+        # overfill the buffer several times (~8k pairs), so a threshold
+        # exists before any full block is scored and even the first
+        # block's remainder goes through the logit pre-filter.  The
+        # multiplier trades seed size against threshold quality: the seed
+        # threshold is the k-th best of ~8k scores, which already cuts the
+        # survivor rate to ~k/8k before the first full fold tightens it
+        # further.  A split never changes the result — the final buffer is
+        # the exact top-k of all pairs under any block partition of the
+        # upper triangle.
+        seed_start, seed_stop = blocks[0]
+        pair_ends = np.cumsum(n - np.arange(seed_start, seed_stop) - 1)
+        seed_rows = int(np.searchsorted(pair_ends, 8 * k)) + 1
+        if seed_rows < seed_stop - seed_start:
+            blocks[0:1] = [
+                (seed_start, seed_start + seed_rows),
+                (seed_start + seed_rows, seed_stop),
+            ]
+        self.blocks = blocks
+        self.bounds = [block_bound_score(start, stop) for start, stop in blocks]
+        self.buf_u: np.ndarray | None = None
+        self.buf_v: np.ndarray | None = None
+        self.buf_s: np.ndarray | None = None
+        # ``threshold`` is written only by the fold (single-threaded, in
+        # deterministic block order) and is monotone non-decreasing, so
+        # any stale value a scoring task reads is a valid — merely weaker
+        # — bound.
+        self.threshold: float | None = None
+
+    def fold(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        s: np.ndarray,
+        stats: dict | None,
+    ) -> None:
+        from ..graphs.assembly import _fold_topk, _triu_rank
+
+        if self.threshold is not None:
+            keep = s >= self.threshold
+            if not keep.any():
+                if stats is not None:
+                    stats["folds_skipped"] += 1
+                return
+            if not keep.all():
+                u, v, s = u[keep], v[keep], s[keep]
+        if self.buf_u is not None:
+            u = np.concatenate([self.buf_u, u])
+            v = np.concatenate([self.buf_v, v])
+            s = np.concatenate([self.buf_s, s])
+        n = self.n
+        keep = _fold_topk(s, lambda idx: _triu_rank(u[idx], v[idx], n), self.k)
+        self.buf_u, self.buf_v, self.buf_s = u[keep], v[keep], s[keep]
+        if self.buf_s.size == self.k:
+            self.threshold = float(self.buf_s.min())
+
+    def result(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # Canonical (u, v) output order: the fold's internal ordering
+        # depends on which blocks were pruned; the sort makes the returned
+        # buffers a pure function of the selected pair set.
+        order = np.lexsort((self.buf_v, self.buf_u))
+        return self.buf_u[order], self.buf_v[order], self.buf_s[order]
+
+
+def topk_pair_candidates_batch(
+    gs: np.ndarray,
+    k: int,
+    row_block: int = _SCORE_ROW_BLOCK,
+    threads: int = 1,
+    _stats: dict | None = None,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Exact global top-``k`` pairs for a stack of S latent samples.
+
+    ``gs`` has shape ``(S, n, d)``: S decoder feature matrices sharing a
+    node count (one per request seed in a coalesced micro-batch).  Returns
+    one ``(u, v, score)`` triple per sample — each **bit-identical** to
+    ``topk_pair_candidates(gs[s], k, row_block, threads)`` run solo, for
+    every batch composition and thread count.
+
+    **Scoring.**  Each sample keeps the single-sample kernel's exact
+    machinery — bound-descending block order with a seed split, carried
+    k-th-score threshold, logit-space pre-cut, Cauchy–Schwarz whole-block
+    skip (see :func:`topk_pair_candidates` for the full account) — but the
+    block *matmuls* are amortised across the batch: samples whose schedule
+    reaches the same row-block extent at the same round are scored by one
+    stacked ``G @ G.transpose(0, 2, 1)`` matmul instead of S separate
+    ``g @ g.T`` sweeps.  The stacked matmul computes each sample's slice
+    with the identical GEMM call the single-sample kernel issues, so score
+    bits never depend on who else rides in the batch; per-sample threshold
+    carry and pruning stay exact because every cut only drops entries that
+    sample's fold would have discarded.
+
+    **Parallelism.**  ``threads > 1`` scores (round, extent) tasks on a
+    :class:`~concurrent.futures.ThreadPoolExecutor` while the main thread
+    folds completed tasks in deterministic round-major order; a stale
+    threshold snapshot only weakens pruning, never changes output bits.
+    Peak extra memory is O(threads · budget + S · (row_block · d + k))
+    with ``budget`` = :data:`_BATCH_MATMUL_BUDGET` elements.
+    """
+    gs = np.ascontiguousarray(np.asarray(gs, dtype=float))
+    if gs.ndim != 3:
+        raise ValueError(
+            f"gs must have shape (samples, nodes, features), got {gs.shape}"
+        )
+    num_samples, n, __ = gs.shape
+    total_pairs = n * (n - 1) // 2
+    k = int(min(max(k, 0), total_pairs))
+    if _stats is not None:
+        _stats.update(
+            samples=num_samples,
+            blocks=0,
+            scored=0,
+            pruned_unscored=0,
+            folds_skipped=0,
+            stacked_matmuls=0,
+        )
+    if num_samples == 0:
+        return []
+    if k == 0 or n <= 1:
+        empty = np.zeros(0)
+        triple = (empty.astype(np.int64), empty.astype(np.int64), empty)
+        return [triple] * num_samples
+    threads = max(int(threads), 1)
+    samples = [
+        _SampleFold(gs[index], n, k, row_block) for index in range(num_samples)
+    ]
+    if _stats is not None:
+        _stats["blocks"] = sum(len(sample.blocks) for sample in samples)
+
+    # Round-major schedule: round j visits every sample's j-th block (its
+    # own bound-descending order), grouping samples that want the same
+    # extent into one stacked matmul.  Folding tasks in schedule order
+    # means each sample's (score, fold) sequence — and therefore its
+    # threshold trajectory and pruning decisions — is exactly the solo
+    # kernel's when threads == 1.
+    tasks: list[tuple[int, tuple[int, int], list[int]]] = []
+    for position in range(max(len(sample.blocks) for sample in samples)):
+        groups: dict[tuple[int, int], list[int]] = {}
+        for index, sample in enumerate(samples):
+            if position < len(sample.blocks):
+                groups.setdefault(sample.blocks[position], []).append(index)
+        for extent in sorted(groups):
+            tasks.append((position, extent, groups[extent]))
+
+    def score_task(
+        position: int, extent: tuple[int, int], members: list[int]
+    ) -> list[tuple[int, object]]:
+        start, stop = extent
+        rows = stop - start
+        outputs: list[tuple[int, object]] = []
+        survivors: list[tuple[int, float | None]] = []
+        for index in members:
+            sample = samples[index]
+            snapshot = sample.threshold
+            if snapshot is not None and sample.bounds[position] < snapshot:
+                outputs.append((index, None))  # pruned unscored
+            else:
+                survivors.append((index, snapshot))
+        # Sub-chunk the stack so one task's logits stay within the budget
+        # even for huge batches; contiguous member runs score through a
+        # copy-free 3-D view of the stack.
+        chunk = max(1, _BATCH_MATMUL_BUDGET // max(rows * n, 1))
+        for base in range(0, len(survivors), chunk):
+            part = survivors[base : base + chunk]
+            indices = [index for index, __ in part]
+            if indices[-1] - indices[0] == len(indices) - 1:
+                stack = gs[indices[0] : indices[-1] + 1]
+            else:
+                stack = gs[indices]
+            logits = np.matmul(
+                stack[:, start:stop, :], stack.transpose(0, 2, 1)
+            )
+            if _stats is not None and len(indices) > 1:
+                _stats["stacked_matmuls"] += 1
+            for offset, (index, snapshot) in enumerate(part):
+                outputs.append(
+                    (
+                        index,
+                        _score_block_logits(
+                            logits[offset], n, start, stop, snapshot
+                        ),
+                    )
+                )
+        return outputs
+
+    def fold_task(outputs: list[tuple[int, object]]) -> None:
+        for index, result in outputs:
+            if result is None:
+                if _stats is not None:
+                    _stats["pruned_unscored"] += 1
+            elif result is _NO_SURVIVORS:
+                if _stats is not None:
+                    _stats["folds_skipped"] += 1
+            else:
+                if _stats is not None:
+                    _stats["scored"] += 1
+                samples[index].fold(*result, _stats)
+
+    if threads == 1:
+        for task in tasks:
+            fold_task(score_task(*task))
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            # Rolling submission window: keep ``threads + 1`` tasks in
+            # flight and submit the next only after folding the oldest, so
+            # every task beyond the window observes a threshold at least
+            # as tight as the fold cursor's — the norm-bound skip and the
+            # logit pre-cut engage deterministically instead of depending
+            # on scheduler timing (an all-upfront submission lets tiny
+            # tasks race ahead of the first fold and score everything).
+            # Folding strictly in submission (round-major) order keeps the
+            # per-sample threshold sequence — and therefore every pruning
+            # decision the fold re-validates — identical to the serial
+            # schedule's, so output bits never depend on the window.
+            pending: deque = deque()
+            cursor = 0
+            while cursor < len(tasks) and len(pending) <= threads:
+                pending.append(pool.submit(score_task, *tasks[cursor]))
+                cursor += 1
+            while pending:
+                fold_task(pending.popleft().result())
+                if cursor < len(tasks):
+                    pending.append(pool.submit(score_task, *tasks[cursor]))
+                    cursor += 1
+    return [sample.result() for sample in samples]
 
 
 def topk_pair_candidates(
@@ -127,152 +436,16 @@ def topk_pair_candidates(
     blocks in the same deterministic bound-descending order.  Scoring a
     block is a pure function of its inputs and all pruning decisions are
     re-validated at fold time against the fold-order threshold, so the
-    returned buffers are bit-identical across all thread counts.  Peak
-    memory grows to O(threads · row_block · n + k).
+    returned buffers are bit-identical across all thread counts.
+
+    This is the S = 1 case of :func:`topk_pair_candidates_batch`; a
+    coalesced serving batch runs the same per-sample machinery with the
+    block matmuls stacked across samples.
     """
-    from ..graphs.assembly import _fold_topk, _triu_rank
-
-    g = np.ascontiguousarray(np.asarray(g, dtype=float))
-    n = g.shape[0]
-    total_pairs = n * (n - 1) // 2
-    k = int(min(max(k, 0), total_pairs))
-    if _stats is not None:
-        _stats.update(blocks=0, scored=0, pruned_unscored=0, folds_skipped=0)
-    if k == 0 or n <= 1:
-        empty = np.zeros(0)
-        return empty.astype(np.int64), empty.astype(np.int64), empty
-    threads = max(int(threads), 1)
-    starts = range(0, n - 1, row_block)
-
-    # Per-row feature norms for the block score bound: every score in the
-    # block rows [start, stop) is sigmoid(g_u · g_v) with v > start, so
-    # sigmoid(max ‖g_u‖ · max_{j > start} ‖g_j‖) bounds the block from
-    # above (sigmoid is monotone, including as a float function).  The
-    # slack covers the float gap between a computed dot product and the
-    # computed norm product before the bound is trusted to prune.
-    norms = np.sqrt(np.einsum("ij,ij->i", g, g))
-    suffix_max = np.maximum.accumulate(norms[::-1])[::-1]
-
-    def block_bound_score(start: int, stop: int) -> float:
-        bound = norms[start:stop].max() * suffix_max[start + 1]
-        bound += _BOUND_SLACK * abs(bound) + _BOUND_SLACK
-        return float(_stable_sigmoid(np.array(bound)))
-
-    blocks = [(start, min(start + row_block, n)) for start in starts]
-    bounds = [block_bound_score(start, stop) for start, stop in blocks]
-    # Highest-bound block first: it is the likeliest to contain the global
-    # top scores, so the threshold saturates after one fold and the
-    # remaining blocks hit the cheap pre-filter (or are skipped outright).
-    # np.argsort is stable, so bound ties keep ascending block order.
-    block_order = np.argsort(np.negative(bounds), kind="stable")
-    blocks = [blocks[i] for i in block_order]
-    # Seed split: carve a prefix of the first block just big enough to
-    # overfill the buffer several times (~8k pairs), so a threshold exists
-    # before any full block is scored and even the first block's remainder
-    # goes through the logit pre-filter.  The multiplier trades seed size
-    # against threshold quality: the seed threshold is the k-th best of
-    # ~8k scores, which already cuts the survivor rate to ~k/8k before the
-    # first full fold tightens it further.  A split never changes the
-    # result — the final buffer is the exact top-k of all pairs under any
-    # block partition of the upper triangle.
-    seed_start, seed_stop = blocks[0]
-    pair_ends = np.cumsum(n - np.arange(seed_start, seed_stop) - 1)
-    seed_rows = int(np.searchsorted(pair_ends, 8 * k)) + 1
-    if seed_rows < seed_stop - seed_start:
-        blocks[0:1] = [
-            (seed_start, seed_start + seed_rows),
-            (seed_start + seed_rows, seed_stop),
-        ]
-    bounds = [block_bound_score(start, stop) for start, stop in blocks]
-    if _stats is not None:
-        _stats["blocks"] = len(blocks)
-
-    buf_u: np.ndarray | None = None
-    buf_v: np.ndarray | None = None
-    buf_s: np.ndarray | None = None
-    # ``threshold`` is written only by the fold below (single-threaded, in
-    # deterministic block order) and is monotone non-decreasing, so any
-    # stale value a scoring task reads is a valid — merely weaker — bound.
-    threshold: float | None = None
-
-    def fold(u: np.ndarray, v: np.ndarray, s: np.ndarray) -> None:
-        nonlocal buf_u, buf_v, buf_s, threshold
-        if threshold is not None:
-            keep = s >= threshold
-            if not keep.any():
-                if _stats is not None:
-                    _stats["folds_skipped"] += 1
-                return
-            if not keep.all():
-                u, v, s = u[keep], v[keep], s[keep]
-        if buf_u is not None:
-            u = np.concatenate([buf_u, u])
-            v = np.concatenate([buf_v, v])
-            s = np.concatenate([buf_s, s])
-        keep = _fold_topk(s, lambda idx: _triu_rank(u[idx], v[idx], n), k)
-        buf_u, buf_v, buf_s = u[keep], v[keep], s[keep]
-        if buf_s.size == k:
-            threshold = float(buf_s.min())
-
-    def score_task(block_index: int):
-        start, stop = blocks[block_index]
-        snapshot = threshold
-        if snapshot is not None and bounds[block_index] < snapshot:
-            return None
-        if _stats is not None:
-            _stats["scored"] += 1
-        if snapshot is None:
-            s_logit = _block_triu_logits(g, n, start, stop)
-            u, v = _block_pairs_all(n, start, stop)
-            return u, v, _stable_sigmoid(s_logit, overwrite_input=True)
-        # Logit-space pre-cut, applied to the raw matmul block before any
-        # triangle extraction: conservative, so the fold's exact
-        # score-space filter sees every possible contender, while the
-        # copy into pair order, the sigmoid and the pair-index
-        # construction only run on the (typically tiny) surviving subset.
-        # Survivors come out in ascending flat order = row-major pair
-        # order, the same enumeration the unfiltered branch produces.
-        flat = (g[start:stop] @ g.T).ravel()
-        idx = np.flatnonzero(flat >= _logit_cut(snapshot))
-        if idx.size:
-            u, v = np.divmod(idx, n)
-            keep = v > u + start  # upper triangle only
-            idx = idx[keep]
-        if idx.size == 0:
-            return _NO_SURVIVORS
-        u = u[keep]
-        u += start
-        return u, v[keep], _stable_sigmoid(flat[idx], overwrite_input=True)
-
-    def fold_result(result) -> None:
-        if result is None:
-            if _stats is not None:
-                _stats["pruned_unscored"] += 1
-        elif result is _NO_SURVIVORS:
-            if _stats is not None:
-                _stats["folds_skipped"] += 1
-        else:
-            fold(*result)
-
-    if threads == 1:
-        for block_index in range(len(blocks)):
-            fold_result(score_task(block_index))
-    else:
-        with ThreadPoolExecutor(max_workers=threads) as pool:
-            futures = [
-                pool.submit(score_task, block_index)
-                for block_index in range(len(blocks))
-            ]
-            # Fold strictly in submission (bound-descending) order: the
-            # threshold sequence — and therefore every pruning decision
-            # the fold re-validates — is identical to the serial kernel's.
-            for future in futures:
-                fold_result(future.result())
-    # Canonical (u, v) output order: the fold's internal ordering depends
-    # on which blocks were pruned; the sort makes the returned buffers a
-    # pure function of the selected pair set.
-    order = np.lexsort((buf_v, buf_u))
-    return buf_u[order], buf_v[order], buf_s[order]
+    g = np.asarray(g, dtype=float)
+    return topk_pair_candidates_batch(
+        g[np.newaxis], k, row_block=row_block, threads=threads, _stats=_stats
+    )[0]
 
 
 class GraphDecoder(nn.Module):

@@ -50,7 +50,11 @@ from ..train import (
     TrainState,
 )
 from .config import CPGANConfig
-from .decoder import GraphDecoder, topk_pair_candidates
+from .decoder import (
+    GraphDecoder,
+    topk_pair_candidates,
+    topk_pair_candidates_batch,
+)
 from .discriminator import Discriminator
 from .encoder import EncoderOutput, LadderEncoder
 from .variational import LatentDistributions, VariationalInference
@@ -475,22 +479,97 @@ class CPGAN(GraphGenerator):
         not supported.
         """
         cfg = config or self.config
-        n, target_edges, rng, latents = self._prepare_generation(
-            seed, num_nodes, cfg
-        )
-        strategy = cfg.assembly_strategy
         if self._use_dense_generation(cfg):
-            return self._generate_dense(latents, n, target_edges, rng, strategy)
-        g = self.decoder.edge_features_numpy(latents)
-        return assemble_graph_sparse(
-            n,
-            self._sparse_candidates(g, target_edges, cfg),
-            target_edges,
-            rng,
-            strategy,
-            score_rows=self._score_rows_fn(g),
-            assume_unique=True,
-        )
+            n, target_edges, rng, latents = self._prepare_generation(
+                seed, num_nodes, cfg
+            )
+            return self._generate_dense(
+                latents, n, target_edges, rng, cfg.assembly_strategy
+            )
+        return self.generate_batch((seed,), num_nodes, config=cfg)[0]
+
+    def generate_batch(
+        self,
+        seeds,
+        num_nodes: int | None | list | tuple = None,
+        *,
+        config: CPGANConfig | None = None,
+    ) -> list[Graph]:
+        """Sample one graph per request seed through one batched sweep.
+
+        The serving tier's micro-batching entry point: S coalesced
+        requests for the same model draw their latents from S independent
+        per-seed PCG64 streams (exactly the streams :meth:`generate` would
+        open solo), then the decoder's chunked top-k kernel scores the
+        whole stack with shared per-block matmuls
+        (:func:`~repro.core.decoder.topk_pair_candidates_batch`) before
+        each sample is assembled with its own RNG.  Every returned graph
+        is **bit-identical** to ``generate(seed, num_nodes, config=...)``
+        for that seed, regardless of batch composition or
+        ``config.generation_threads`` — which is what keeps the serving
+        sample cache and the per-request determinism contract sound.
+
+        ``num_nodes`` may be a single value applied to every seed or a
+        per-seed sequence; seeds are grouped by node count and each group
+        runs through one stacked kernel call (the dense reference and
+        ``bernoulli`` paths fall back to per-seed :meth:`generate`, which
+        has no batched form).
+        """
+        cfg = config or self.config
+        seeds = list(seeds)
+        if isinstance(num_nodes, (list, tuple)):
+            if len(num_nodes) != len(seeds):
+                raise ValueError(
+                    f"num_nodes sequence has {len(num_nodes)} entries for "
+                    f"{len(seeds)} seeds"
+                )
+            sizes = list(num_nodes)
+        else:
+            sizes = [num_nodes] * len(seeds)
+        if not seeds:
+            return []
+        if self._use_dense_generation(cfg):
+            return [
+                self.generate(seed, size, config=cfg)
+                for seed, size in zip(seeds, sizes)
+            ]
+        prepared = [
+            self._prepare_generation(seed, size, cfg)
+            for seed, size in zip(seeds, sizes)
+        ]
+        # Decoder features stay per-sample (a stacked GRU/MLP pass would
+        # change GEMM shapes and therefore bits); only the pairwise
+        # scoring sweep — the dominant cost — is batched.
+        features = [
+            self.decoder.edge_features_numpy(latents)
+            for __, __, __, latents in prepared
+        ]
+        groups: dict[int, list[int]] = {}
+        for index, (n, __, __, __) in enumerate(prepared):
+            groups.setdefault(n, []).append(index)
+        graphs: list[Graph | None] = [None] * len(seeds)
+        for n, members in groups.items():
+            # target_edges is a pure function of n, so it is shared by the
+            # whole group — as is the candidate budget K.
+            target_edges = prepared[members[0]][1]
+            k = int(np.ceil(cfg.candidate_factor * target_edges))
+            candidates = topk_pair_candidates_batch(
+                np.stack([features[index] for index in members]),
+                max(k, target_edges),
+                threads=cfg.generation_threads,
+            )
+            for index, triple in zip(members, candidates):
+                g = features[index]
+                graphs[index] = assemble_graph_sparse(
+                    n,
+                    triple,
+                    target_edges,
+                    prepared[index][2],
+                    cfg.assembly_strategy,
+                    score_rows=self._score_rows_fn(g),
+                    assume_unique=True,
+                )
+        return graphs
 
     # -- shared generation pipeline ------------------------------------
     def _prepare_generation(

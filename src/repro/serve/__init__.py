@@ -16,7 +16,7 @@ overrides never touch shared model state.
 
 from .cache import SampleCache, cache_key
 from .http import build_server, serve_forever
-from .metrics import Counters, LatencyWindow
+from .metrics import BatchSizeHistogram, Counters, LatencyWindow
 from .registry import ModelRegistry
 from .service import (
     ALLOWED_PARAMS,
@@ -24,10 +24,12 @@ from .service import (
     GenerationResult,
     GenerationService,
     Overloaded,
+    autosize_serving,
 )
 
 __all__ = [
     "ALLOWED_PARAMS",
+    "BatchSizeHistogram",
     "Counters",
     "GenerationRequest",
     "GenerationResult",
@@ -36,6 +38,7 @@ __all__ = [
     "ModelRegistry",
     "Overloaded",
     "SampleCache",
+    "autosize_serving",
     "build_server",
     "cache_key",
     "serve_forever",

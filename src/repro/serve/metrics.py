@@ -19,7 +19,45 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["Counters", "LatencyWindow"]
+__all__ = ["BatchSizeHistogram", "Counters", "LatencyWindow"]
+
+
+class BatchSizeHistogram:
+    """Micro-batch size accounting for the coalescing worker loop.
+
+    One ``observe(size)`` per fulfilled batch; the snapshot reports the
+    full size histogram plus the *coalesced-request fraction* — the share
+    of batch-served requests that rode in a batch of two or more, i.e. the
+    fraction of work the coalescer actually amortised.
+    """
+
+    def __init__(self) -> None:
+        self._sizes: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("batch size must be >= 1")
+        with self._lock:
+            self._sizes[size] = self._sizes.get(size, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            sizes = dict(self._sizes)
+        batches = sum(sizes.values())
+        requests = sum(size * count for size, count in sizes.items())
+        coalesced = sum(
+            size * count for size, count in sizes.items() if size > 1
+        )
+        return {
+            "batches": batches,
+            "requests": requests,
+            "coalesced_requests": coalesced,
+            "coalesced_fraction": coalesced / requests if requests else 0.0,
+            "histogram": {
+                str(size): sizes[size] for size in sorted(sizes)
+            },
+        }
 
 
 class LatencyWindow:

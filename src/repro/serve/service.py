@@ -8,9 +8,25 @@ Request lifecycle::
       └─ queue.put_nowait ──── full ──> Overloaded(retry_after_s)   [backpressure]
                      │
               worker thread pool (``workers`` threads)
+                     │  drain the queue opportunistically: coalesce pending
+                     │  requests that share (model, num_nodes, params) into
+                     │  a micro-batch of ≤ ``max_batch_size`` seeds
                      │  lease model from the registry
-                     │  generate with a per-request config snapshot
-                     └─ resolve the pending future, fill the cache
+                     │  generate_batch with a per-batch config snapshot
+                     └─ resolve each pending from its slice, fill the cache
+
+**Micro-batching.**  A worker that picks up a request keeps draining the
+queue *without waiting* (``get_nowait``) while the next request coalesces
+with it — same model, node count and params, only the seed differing — up
+to ``max_batch_size``.  The batch runs through ``CPGAN.generate_batch``,
+which amortises one decoder block sweep across all seeds; each seed's
+graph is still bit-identical to a solo ``generate`` call, so coalescing is
+invisible to clients and to the sample cache.  A shallow queue therefore
+pays zero added latency (batches of one fulfil exactly as before), and
+``max_batch_size=1`` disables coalescing outright.  The first
+non-matching request a worker drains is carried over as its next unit of
+work, never re-queued, so FIFO order bends only within a batch (whose
+members resolve together anyway).
 
 **Determinism.**  A request's graph depends only on
 ``(model, seed, num_nodes, params)``: ``CPGAN.generate`` derives every
@@ -29,6 +45,7 @@ to ``503`` + ``Retry-After``.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -37,7 +54,7 @@ from typing import Mapping
 
 from ..graphs import Graph
 from .cache import SampleCache, cache_key
-from .metrics import Counters, LatencyWindow
+from .metrics import BatchSizeHistogram, Counters, LatencyWindow
 from .registry import ModelRegistry
 
 __all__ = [
@@ -46,7 +63,26 @@ __all__ = [
     "GenerationResult",
     "GenerationService",
     "Overloaded",
+    "autosize_serving",
 ]
+
+
+def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
+    """Host-derived defaults for ``workers`` and ``generation_threads``.
+
+    Heuristic: enough worker threads for request-level parallelism (2–8,
+    capped by the core count so a small host is not oversubscribed with
+    idle threads), and the leftover cores as intra-request scoring threads
+    for the sparse top-k kernel.  ``repro serve`` applies these whenever
+    the corresponding CLI flag is omitted; explicit flags always win.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    cpus = max(int(cpus), 1)
+    workers = max(2, min(cpus, 8))
+    return {
+        "workers": workers,
+        "generation_threads": max(1, cpus // workers),
+    }
 
 #: Per-request config overrides a client may send.  Everything else in
 #: CPGANConfig shapes *training* and cannot change at serving time.
@@ -61,6 +97,10 @@ ALLOWED_PARAMS = frozenset(
 )
 
 _STOP = object()
+
+#: Sentinel distinguishing "use the service's configured request timeout"
+#: from an explicit ``timeout=None`` (wait indefinitely).
+_USE_SERVICE_TIMEOUT = object()
 
 
 class Overloaded(RuntimeError):
@@ -88,6 +128,15 @@ class GenerationRequest:
 
     def key(self) -> tuple:
         return cache_key(self.model, self.seed, self.num_nodes, self.params)
+
+    def coalesce_key(self) -> tuple:
+        """Everything but the seed: requests sharing this key may ride in
+        one micro-batch (the seed is the per-sample axis of the batch)."""
+        return (
+            self.model,
+            self.num_nodes,
+            tuple(sorted(self.params.items())),
+        )
 
 
 @dataclass(frozen=True)
@@ -149,6 +198,8 @@ class GenerationService:
         retry_after_s: float = 0.5,
         latency_window: int = 4096,
         generation_threads: int = 1,
+        max_batch_size: int = 8,
+        request_timeout_s: float = 120.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -156,15 +207,22 @@ class GenerationService:
             raise ValueError("queue_size must be >= 1")
         if generation_threads < 1:
             raise ValueError("generation_threads must be >= 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
         self.registry = registry
         self.workers = workers
         self.queue_size = queue_size
         self.retry_after_s = retry_after_s
         self.generation_threads = generation_threads
+        self.max_batch_size = max_batch_size
+        self.request_timeout_s = request_timeout_s
         self.cache = SampleCache(cache_entries)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._threads: list[threading.Thread] = []
         self._latency = LatencyWindow(latency_window)
+        self._batches = BatchSizeHistogram()
         self._counters = Counters(
             ("submitted", "completed", "failed", "rejected", "cache_hits")
         )
@@ -237,9 +295,19 @@ class GenerationService:
         return pending
 
     def generate(
-        self, request: GenerationRequest, timeout: float | None = 120.0
+        self,
+        request: GenerationRequest,
+        timeout: float | None = _USE_SERVICE_TIMEOUT,
     ) -> GenerationResult:
-        """Blocking submit-and-wait convenience used by the HTTP layer."""
+        """Blocking submit-and-wait convenience used by the HTTP layer.
+
+        With no explicit ``timeout`` the service's configured
+        ``request_timeout_s`` applies (``repro serve --request-timeout``);
+        pass ``None`` to wait indefinitely.  A timeout raises
+        ``TimeoutError``, which the HTTP layer maps to 504.
+        """
+        if timeout is _USE_SERVICE_TIMEOUT:
+            timeout = self.request_timeout_s
         return self.submit(request).result(timeout)
 
     def _validate(self, request: GenerationRequest) -> None:
@@ -258,14 +326,95 @@ class GenerationService:
     # worker side
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
+        # ``carry`` is the first non-coalescing item a drain pass pulled:
+        # it becomes this worker's next unit of work instead of being
+        # re-queued (which would reorder it behind later arrivals).
+        carry = None
         while True:
-            item = self._queue.get()
-            try:
-                if item is _STOP:
-                    return
-                self._fulfil(item)
-            finally:
+            item = carry if carry is not None else self._queue.get()
+            carry = None
+            if item is _STOP:
                 self._queue.task_done()
+                return
+            batch = [item]
+            key = item.request.coalesce_key()
+            while len(batch) < self.max_batch_size:
+                try:
+                    follower = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if follower is not _STOP and (
+                    follower.request.coalesce_key() == key
+                ):
+                    batch.append(follower)
+                else:
+                    carry = follower
+                    break
+            try:
+                self._fulfil_batch(batch)
+            finally:
+                for __ in batch:
+                    self._queue.task_done()
+
+    def _fulfil_batch(self, batch: list[_Pending]) -> None:
+        """Fulfil one micro-batch of coalesced requests in a single sweep.
+
+        Seeds are deduplicated (identical requests share one generation),
+        every pending resolves from its own seed's graph, and the sample
+        cache is populated per seed — exactly the graphs solo ``generate``
+        calls would have produced, because ``generate_batch`` is
+        bit-identical per seed regardless of batch composition.
+        """
+        self._batches.observe(len(batch))
+        if len(batch) == 1:
+            self._fulfil(batch[0])
+            return
+        request = batch[0].request
+        started_at = time.perf_counter()
+        for pending in batch:
+            pending.started_at = started_at
+        try:
+            with self.registry.lease(request.model) as model:
+                config = model.generation_config(
+                    generation_threads=self.generation_threads,
+                    **dict(request.params),
+                )
+                seeds = list(
+                    dict.fromkeys(p.request.seed for p in batch)
+                )
+                generate_batch = getattr(model, "generate_batch", None)
+                if generate_batch is not None:
+                    graphs = generate_batch(
+                        seeds, num_nodes=request.num_nodes, config=config
+                    )
+                else:  # models without a batched path: sequential sweep
+                    graphs = [
+                        model.generate(
+                            seed=seed,
+                            num_nodes=request.num_nodes,
+                            config=config,
+                        )
+                        for seed in seeds
+                    ]
+            by_seed = dict(zip(seeds, graphs))
+            now = time.perf_counter()
+            for pending in batch:
+                graph = by_seed[pending.request.seed]
+                self.cache.put(pending.request.key(), graph)
+                result = GenerationResult(
+                    pending.request,
+                    graph,
+                    False,
+                    started_at - pending.submitted_at,
+                    now - pending.submitted_at,
+                )
+                self._counters.bump("completed")
+                self._latency.observe(result.total_s)
+                pending.resolve(result)
+        except BaseException as exc:  # surface worker errors to the callers
+            for pending in batch:
+                self._counters.bump("failed")
+                pending.fail(exc)
 
     def _fulfil(self, pending: _Pending) -> None:
         request = pending.request
@@ -320,7 +469,12 @@ class GenerationService:
                 "capacity": self.queue_size,
                 "workers": self.workers,
                 "retry_after_s": self.retry_after_s,
+                "request_timeout_s": self.request_timeout_s,
                 "generation_threads": self.generation_threads,
+            },
+            "batching": {
+                "max_batch_size": self.max_batch_size,
+                **self._batches.snapshot(),
             },
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
