@@ -43,6 +43,19 @@ def _settings_from_args(args: argparse.Namespace) -> HotpathSettings:
         mmd_graphs=base.mmd_graphs,
         seed=base.seed,
         threads=args.threads if args.threads is not None else base.threads,
+        xlarge_nodes=(
+            args.xlarge_nodes
+            if args.xlarge_nodes is not None
+            else base.xlarge_nodes
+        ),
+        xlarge_repeats=base.xlarge_repeats,
+        xlarge_dtype=(
+            args.xlarge_dtype
+            if args.xlarge_dtype is not None
+            else base.xlarge_dtype
+        ),
+        xlarge_shard_edges=base.xlarge_shard_edges,
+        xlarge_budget_mb=base.xlarge_budget_mb,
     )
 
 
@@ -57,6 +70,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="generation_threads for the generation hot paths (output is "
         "bit-identical at any value; this is a wall-clock axis)",
+    )
+    parser.add_argument(
+        "--xlarge-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="node count for the generation_xlarge streaming path "
+        "(default 100000, or 2500 with --quick)",
+    )
+    parser.add_argument(
+        "--xlarge-dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="scoring precision for generation_xlarge (default float32 — "
+        "the scaling configuration; CI also gates float64)",
     )
     parser.add_argument(
         "--output",
@@ -97,11 +125,16 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
     for name, entry in document["hot_paths"].items():
-        print(
-            f"  {name:<12} {entry['mean_s'] * 1e3:9.2f} ms "
+        line = (
+            f"  {name:<18} {entry['mean_s'] * 1e3:9.2f} ms "
             f"(+/- {entry['std_s'] * 1e3:.2f})  "
             f"normalized={entry['normalized']:.1f}"
         )
+        if "peak_mb" in entry:
+            line += (
+                f"  peak={entry['peak_mb']:.1f}/{entry['budget_mb']:.0f} MiB"
+            )
+        print(line)
     return 0
 
 

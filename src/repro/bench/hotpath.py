@@ -12,6 +12,12 @@ regression-gated quantities:
 * ``generation_large`` — the same pipeline asked for a graph ``6x`` the
   fitted size: the regime the candidate-pruned sparse kernel exists for,
   where a dense n×n decode would dominate;
+* ``generation_xlarge`` — streaming generation at production scale
+  (100k nodes by default): ``generate_to_file`` into a sharded edge
+  directory with float32 scoring, run under ``tracemalloc`` with a fixed
+  peak-memory budget.  The budget is asserted inside the timed region, so
+  both a baseline measurement and ``--check`` fail loudly if streaming
+  ever starts materialising super-linear intermediates;
 * ``mmd_eval``    — the GraphRNN-protocol degree + clustering MMD between
   two graph samples (the ``Deg.``/``Clus.`` columns of Table IV).
 
@@ -30,6 +36,8 @@ machines.
 from __future__ import annotations
 
 import platform
+import shutil
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -42,6 +50,7 @@ from ..datasets import load
 from ..graphs import Graph
 from ..metrics import clustering_mmd, degree_mmd
 from ..train import EpochTimer, Trainer, TrainState
+from .memory import measure_peak_memory
 
 __all__ = [
     "HotpathSettings",
@@ -73,13 +82,32 @@ class HotpathSettings:
     threads: int = 1          # generation_threads for the sparse top-k
     #   kernel on the generation/generation_large paths; the output graphs
     #   are bit-identical at every value, so this is a pure wall-clock axis
+    xlarge_nodes: int = 100_000   # generation_xlarge target size
+    xlarge_repeats: int = 1       # its own repeat count — one rep is ~minutes
+    #   at full scale (the repair pass is O(isolated x n) by its sampling
+    #   semantics), and the normalized ratio tolerates single-rep noise
+    xlarge_dtype: str = "float32"  # the scaling precision under test;
+    #   CI additionally gates the float64 streaming path via --xlarge-dtype
+    xlarge_shard_edges: int = 100_000  # edges per output shard
+    xlarge_budget_mb: int = 512   # tracemalloc peak budget — FIXED, does not
+    #   scale with xlarge_nodes; exceeding it raises inside the timed region
 
 
 DEFAULT_SETTINGS = HotpathSettings()
 
 #: Tiny configuration for smoke tests and the regression gate's self-test:
-#: one repeat, a ~66-node graph, three graphs per MMD side.
-QUICK_SETTINGS = HotpathSettings(repeats=1, scale=0.02, mmd_graphs=3)
+#: one repeat, a ~66-node graph, three graphs per MMD side.  The xlarge
+#: path still runs (the regression gate requires every tracked hot path in
+#: every fresh run) but at a small node count; the memory budget stays at
+#: its production value — it is a fixed ceiling, not a scaled one.
+QUICK_SETTINGS = HotpathSettings(
+    repeats=1,
+    scale=0.02,
+    mmd_graphs=3,
+    xlarge_nodes=2_500,
+    xlarge_repeats=1,
+    xlarge_shard_edges=2_000,
+)
 
 
 def calibrate_matmul(size: int = 192, repeats: int = 5) -> float:
@@ -157,6 +185,62 @@ def _time_generation(
     return _timeit(generate, settings.repeats)
 
 
+def _time_generation_xlarge(
+    graph: Graph, settings: HotpathSettings
+) -> tuple[float, float, dict[str, float]]:
+    """Streaming generation at ``xlarge_nodes`` under a fixed memory budget.
+
+    Times ``generate_to_file`` into a sharded edge directory — the
+    production streaming path — with ``tracemalloc`` active for the whole
+    timed region.  The peak is checked against ``xlarge_budget_mb`` on
+    every repetition and a breach raises, so the budget is enforced both
+    when recording a baseline and under ``--check``.  tracemalloc's
+    per-allocation hook is part of the measured workload on both sides of
+    a comparison, so normalized ratios stay honest.
+    """
+    model = _fitted_model(graph, settings)
+    cfg = model.generation_config(
+        latent_source="prior",
+        generation_threads=settings.threads,
+        generation_dtype=settings.xlarge_dtype,
+    )
+    budget_bytes = settings.xlarge_budget_mb * 2**20
+    counter = {"seed": 0}
+    peaks: list[int] = []
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-xlarge-"))
+    try:
+
+        def generate() -> None:
+            counter["seed"] += 1
+            out = tmp / f"run_{counter['seed']}"
+            __, peak = measure_peak_memory(
+                lambda: model.generate_to_file(
+                    out,
+                    seed=counter["seed"],
+                    num_nodes=settings.xlarge_nodes,
+                    config=cfg,
+                    shard_edges=settings.xlarge_shard_edges,
+                )
+            )
+            peaks.append(peak)
+            if peak > budget_bytes:
+                raise RuntimeError(
+                    f"generation_xlarge peak memory {peak / 2**20:.1f} MiB "
+                    f"exceeds the {settings.xlarge_budget_mb} MiB budget "
+                    f"(nodes={settings.xlarge_nodes}, "
+                    f"dtype={settings.xlarge_dtype})"
+                )
+            shutil.rmtree(out)
+
+        mean_s, std_s = _timeit(generate, settings.xlarge_repeats)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return mean_s, std_s, {
+        "peak_mb": max(peaks) / 2**20,
+        "budget_mb": float(settings.xlarge_budget_mb),
+    }
+
+
 def _time_mmd_eval(settings: HotpathSettings) -> tuple[float, float]:
     observed = [
         load("citeseer", scale=settings.scale, seed=s).graph
@@ -182,16 +266,19 @@ def run_hotpath_bench(settings: HotpathSettings | None = None) -> dict:
     graph = load("citeseer", scale=settings.scale, seed=settings.seed).graph
 
     hot_paths: dict[str, dict[str, float]] = {}
-    timers: dict[str, Callable[[], tuple[float, float]]] = {
+    timers: dict[str, Callable[[], tuple]] = {
         "train_epoch": lambda: _time_train_epoch(graph, settings),
         "generation": lambda: _time_generation(graph, settings),
         "generation_large": lambda: _time_generation(
             graph, settings, node_factor=_LARGE_NODE_FACTOR
         ),
+        "generation_xlarge": lambda: _time_generation_xlarge(graph, settings),
         "mmd_eval": lambda: _time_mmd_eval(settings),
     }
     for name, timer in timers.items():
-        mean_s, std_s = timer()
+        # Timers return (mean, std) plus an optional dict of extra fields
+        # (generation_xlarge reports its tracemalloc peak alongside).
+        mean_s, std_s, *rest = timer()
         # Calibrate right after the timed reps: the host is in the same
         # thermal/contention state as during the measurement.
         path_calibration = calibrate_matmul()
@@ -200,6 +287,7 @@ def run_hotpath_bench(settings: HotpathSettings | None = None) -> dict:
             "std_s": std_s,
             "calibration_s": path_calibration,
             "normalized": mean_s / path_calibration,
+            **(rest[0] if rest else {}),
         }
 
     return {

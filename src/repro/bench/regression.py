@@ -120,12 +120,12 @@ def check_regression(
 def format_report(comparisons: list[Comparison]) -> str:
     """Human-readable table of a regression check."""
     lines = [
-        f"{'hot path':<14} {'baseline':>10} {'fresh':>10} {'ratio':>7}  verdict"
+        f"{'hot path':<18} {'baseline':>10} {'fresh':>10} {'ratio':>7}  verdict"
     ]
     for c in comparisons:
         verdict = "REGRESSED" if c.regressed else "ok"
         lines.append(
-            f"{c.name:<14} {c.baseline_normalized:>10.1f} "
+            f"{c.name:<18} {c.baseline_normalized:>10.1f} "
             f"{c.fresh_normalized:>10.1f} {c.ratio:>7.2f}  {verdict}"
         )
     return "\n".join(lines)

@@ -85,6 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--count", type=int, default=1)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--num-nodes", type=int, default=None)
+    p_gen.add_argument(
+        "--generation-dtype",
+        choices=["float64", "float32"],
+        default=None,
+        help="scoring precision (float64 = bit-reproducible default, "
+        "float32 = half the memory for large graphs)",
+    )
+    p_gen.add_argument(
+        "--generation-threads",
+        type=int,
+        default=None,
+        help="scoring threads for the sparse top-k kernel "
+        "(bit-identical at every thread count)",
+    )
+    p_gen.add_argument(
+        "--shard-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the output as a shard directory of ~N edges per "
+        "shard with a meta.json manifest (default: single file with a "
+        "meta sidecar)",
+    )
+    p_gen.add_argument(
+        "--shard-format",
+        choices=["edgelist", "csr"],
+        default="edgelist",
+        help="shard payload format when --shard-edges is set",
+    )
 
     p_eval = sub.add_parser("evaluate", help="compare two graphs")
     p_eval.add_argument("observed", type=Path)
@@ -226,16 +255,31 @@ def _cmd_fit(args) -> int:
 
 def _cmd_generate(args) -> int:
     model = load_model(args.model)
+    overrides = {}
+    if args.generation_dtype is not None:
+        overrides["generation_dtype"] = args.generation_dtype
+    if args.generation_threads is not None:
+        overrides["generation_threads"] = args.generation_threads
+    config = model.generation_config(**overrides) if overrides else None
     for i in range(args.count):
-        graph = model.generate(seed=args.seed + i, num_nodes=args.num_nodes)
+        seed = args.seed + i
         if args.count == 1:
             path = args.output
         else:
             path = args.output.with_name(
                 f"{args.output.stem}_{i}{args.output.suffix or '.txt'}"
             )
-        write_edge_list(graph, path)
-        print(f"{graph} -> {path}")
+        # Stream through generate_to_file so sharded output and the meta
+        # sidecar come for free; the edge set equals model.generate's.
+        written = model.generate_to_file(
+            path,
+            seed=seed,
+            num_nodes=args.num_nodes,
+            config=config,
+            shard_edges=args.shard_edges,
+            shard_format=args.shard_format,
+        )
+        print(f"Graph(seed={seed}, edges={written}) -> {path}")
     return 0
 
 

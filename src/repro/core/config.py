@@ -74,6 +74,16 @@ class CPGANConfig:
     #   the GIL inside the block matmuls; the fold stays in deterministic
     #   block order, so generated graphs are bit-identical at every thread
     #   count — this is purely a wall-clock knob.
+    generation_dtype: str = "float64"  # scoring precision of the sparse
+    #   pipeline.  "float64" (default) is bit-identical to the historical
+    #   pipeline; "float32" halves scoring/repair memory and roughly
+    #   doubles GEMM throughput for large graphs (exact top-k of the
+    #   float32 scores, deterministic at every thread count, but not
+    #   bit-comparable to float64 output).
+    generation_shard_edges: int = 0  # edges per output shard when
+    #   streaming a generated graph to disk (generate_to_file).  0 writes
+    #   a single edge-list file; > 0 writes a shard directory with a JSON
+    #   meta sidecar (see repro.graphs.io.write_edge_shards).
 
     seed: int = 0
 
@@ -92,6 +102,12 @@ class CPGANConfig:
             raise ValueError("candidate_factor must be >= 1")
         if self.generation_threads < 1:
             raise ValueError("generation_threads must be >= 1")
+        if self.generation_dtype not in ("float64", "float32"):
+            raise ValueError(
+                "generation_dtype must be 'float64' or 'float32'"
+            )
+        if self.generation_shard_edges < 0:
+            raise ValueError("generation_shard_edges must be >= 0")
         if not self.use_hierarchy:
             self.num_levels = 1
 

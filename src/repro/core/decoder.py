@@ -36,6 +36,17 @@ _SCORE_ROW_BLOCK = 256
 #: rounding while still far below any score gap that matters.
 _BOUND_SLACK = 1e-6
 
+#: The float32 counterpart: single-precision dots over latent_dim-sized
+#: rows accumulate relative error around d·eps32 ≈ 1e-5, so the float64
+#: margin would no longer dominate the rounding.  1e-4 keeps every prune
+#: conservative in float32 while remaining far below meaningful score gaps.
+_BOUND_SLACK_F32 = 1e-4
+
+
+def _bound_slack(dtype: np.dtype) -> float:
+    """Pruning slack matched to the scoring precision."""
+    return _BOUND_SLACK_F32 if dtype == np.float32 else _BOUND_SLACK
+
 #: Scored-but-empty marker: the block was scored and the logit pre-cut
 #: left no survivors (distinct from ``None`` = skipped unscored).
 _NO_SURVIVORS = object()
@@ -63,22 +74,24 @@ def _block_pairs_all(n: int, start: int, stop: int) -> tuple[np.ndarray, np.ndar
     return u, v
 
 
-def _logit_cut(threshold: float) -> float:
+def _logit_cut(threshold: float, slack: float = _BOUND_SLACK) -> float:
     """A logit-space lower bound for score-space ``s >= threshold``.
 
     Conservative: every entry with ``sigmoid(x) >= threshold`` satisfies
     ``x >= cut``, so filtering logits at ``cut`` before the sigmoid drops
     only entries the exact score-space filter would drop anyway.  The
-    margin swamps the float error of the ``log`` inversion; saturated
-    thresholds (``sigmoid == 1.0`` exactly, i.e. logits above ~36.7) fall
-    back to a fixed cut below the saturation boundary.
+    margin (``slack``, sized to the scoring precision) swamps the float
+    error of the ``log`` inversion; saturated thresholds (``sigmoid ==
+    1.0`` exactly, i.e. logits above ~36.7) fall back to a fixed cut below
+    the saturation boundary — in float32 the sigmoid saturates earlier
+    (~16.6), so the fallback stays conservative there too.
     """
     if threshold <= 0.0:
         return -np.inf
     if threshold >= 1.0:
-        return 36.0
+        return 16.0
     cut = float(np.log(threshold / (1.0 - threshold)))
-    return cut - (_BOUND_SLACK * abs(cut) + _BOUND_SLACK)
+    return cut - (slack * abs(cut) + slack)
 
 
 def _score_block_logits(
@@ -96,7 +109,10 @@ def _score_block_logits(
     Pure function of ``(logits, n, start, stop, snapshot)``: the same call
     produces the same bits no matter which thread runs it, which is what
     lets both kernels stay bit-identical across thread counts and batch
-    compositions.
+    compositions.  Precision rides on ``logits.dtype``: a float32 block
+    flows through the pre-cut and the sigmoid in float32 (with the wider
+    float32 pruning slack), a float64 block reproduces the historical
+    double-precision arithmetic bit for bit.
     """
     if snapshot is None:
         # Row r contributes columns r+1..n-1; concatenating the row slices
@@ -115,7 +131,7 @@ def _score_block_logits(
     # flat order = row-major pair order, the same enumeration the
     # unfiltered branch produces.
     flat = logits.ravel()
-    idx = np.flatnonzero(flat >= _logit_cut(snapshot))
+    idx = np.flatnonzero(flat >= _logit_cut(snapshot, _bound_slack(flat.dtype)))
     if idx.size:
         u, v = np.divmod(idx, n)
         keep = v > u + start  # upper triangle only
@@ -151,10 +167,11 @@ class _SampleFold:
         # trusted to prune.
         norms = np.sqrt(np.einsum("ij,ij->i", g, g))
         suffix_max = np.maximum.accumulate(norms[::-1])[::-1]
+        slack = _bound_slack(g.dtype)
 
         def block_bound_score(start: int, stop: int) -> float:
             bound = norms[start:stop].max() * suffix_max[start + 1]
-            bound += _BOUND_SLACK * abs(bound) + _BOUND_SLACK
+            bound += slack * abs(bound) + slack
             return float(_stable_sigmoid(np.array(bound)))
 
         blocks = [
@@ -238,6 +255,7 @@ def topk_pair_candidates_batch(
     k: int,
     row_block: int = _SCORE_ROW_BLOCK,
     threads: int = 1,
+    score_dtype: np.dtype | str = np.float64,
     _stats: dict | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Exact global top-``k`` pairs for a stack of S latent samples.
@@ -267,8 +285,24 @@ def topk_pair_candidates_batch(
     threshold snapshot only weakens pruning, never changes output bits.
     Peak extra memory is O(threads · budget + S · (row_block · d + k))
     with ``budget`` = :data:`_BATCH_MATMUL_BUDGET` elements.
+
+    **Precision.**  ``score_dtype`` selects the scoring arithmetic.  The
+    float64 default reproduces the historical pipeline bit for bit — same
+    GEMMs, same slack, same fold — at every thread count and batch
+    composition.  ``float32`` halves the matmul, logit and buffer memory
+    and roughly doubles GEMM throughput: the latents are cast once up
+    front and every downstream step (matmul, pre-cut, sigmoid, threshold
+    carry, Cauchy–Schwarz bound with the wider float32 slack) runs in
+    single precision.  Both modes are *exact for their own arithmetic*:
+    the returned buffer is the true top-k of the scores as computed in the
+    chosen precision, with the same deterministic tie-breaking.
     """
-    gs = np.ascontiguousarray(np.asarray(gs, dtype=float))
+    score_dtype = np.dtype(score_dtype)
+    if score_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValueError(
+            f"score_dtype must be float64 or float32, got {score_dtype}"
+        )
+    gs = np.ascontiguousarray(np.asarray(gs, dtype=score_dtype))
     if gs.ndim != 3:
         raise ValueError(
             f"gs must have shape (samples, nodes, features), got {gs.shape}"
@@ -288,10 +322,18 @@ def topk_pair_candidates_batch(
     if num_samples == 0:
         return []
     if k == 0 or n <= 1:
-        empty = np.zeros(0)
+        empty = np.zeros(0, dtype=score_dtype)
         triple = (empty.astype(np.int64), empty.astype(np.int64), empty)
         return [triple] * num_samples
     threads = max(int(threads), 1)
+    # Cap the row block so one block's logits stay within the matmul
+    # budget at very large n (floored at 16 rows so blocks never turn
+    # degenerate).  The cap only lowers the caller's value, and only
+    # engages above n ≈ budget / default_block (~15.6k nodes at the
+    # defaults), so every previously-reachable size scores with exactly
+    # the historical block partition — bit-preservation of the float64
+    # default is untouched.
+    row_block = min(row_block, max(16, _BATCH_MATMUL_BUDGET // max(n, 1)))
     samples = [
         _SampleFold(gs[index], n, k, row_block) for index in range(num_samples)
     ]
@@ -401,6 +443,7 @@ def topk_pair_candidates(
     k: int,
     row_block: int = _SCORE_ROW_BLOCK,
     threads: int = 1,
+    score_dtype: np.dtype | str = np.float64,
     _stats: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact global top-``k`` node pairs by decoder score, without the n×n.
@@ -440,11 +483,18 @@ def topk_pair_candidates(
 
     This is the S = 1 case of :func:`topk_pair_candidates_batch`; a
     coalesced serving batch runs the same per-sample machinery with the
-    block matmuls stacked across samples.
+    block matmuls stacked across samples.  ``score_dtype`` selects the
+    scoring precision (float64 default is bit-identical to the historical
+    kernel; see the batch kernel's docstring).
     """
-    g = np.asarray(g, dtype=float)
+    g = np.asarray(g)
     return topk_pair_candidates_batch(
-        g[np.newaxis], k, row_block=row_block, threads=threads, _stats=_stats
+        g[np.newaxis],
+        k,
+        row_block=row_block,
+        threads=threads,
+        score_dtype=score_dtype,
+        _stats=_stats,
     )[0]
 
 

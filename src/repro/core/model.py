@@ -557,9 +557,14 @@ class CPGAN(GraphGenerator):
                 np.stack([features[index] for index in members]),
                 max(k, target_edges),
                 threads=cfg.generation_threads,
+                score_dtype=cfg.generation_dtype,
             )
+            score_dtype = np.dtype(cfg.generation_dtype)
             for index, triple in zip(members, candidates):
-                g = features[index]
+                # One up-front cast so the repair pass scores in the same
+                # precision as the kernel (a float64 config is a no-op
+                # view of the existing features).
+                g = np.asarray(features[index], dtype=score_dtype)
                 graphs[index] = assemble_graph_sparse(
                     n,
                     triple,
@@ -639,7 +644,10 @@ class CPGAN(GraphGenerator):
         cfg = cfg or self.config
         k = int(np.ceil(cfg.candidate_factor * target_edges))
         return topk_pair_candidates(
-            g, max(k, target_edges), threads=cfg.generation_threads
+            g,
+            max(k, target_edges),
+            threads=cfg.generation_threads,
+            score_dtype=cfg.generation_dtype,
         )
 
     def _score_rows_fn(self, g: np.ndarray):
@@ -663,32 +671,51 @@ class CPGAN(GraphGenerator):
         flush_every: int = 100_000,
         *,
         config: CPGANConfig | None = None,
+        shard_edges: int | None = None,
+        shard_format: str = "edgelist",
     ) -> int:
-        """Stream a generated graph to an edge-list file (§III-H future work).
+        """Stream a generated graph to disk (§III-H future work).
 
         The paper notes CPGAN's simulation step still assumes the output
         graph fits in device memory and names out-of-core generation as
         future work.  This implements it on the sparse pipeline: the
-        chunked kernel scores row-blocks into a bounded candidate buffer,
-        the shared selection core picks the final edge set, and edges are
-        appended to ``path`` in ``flush_every``-line batches — peak memory
-        is O(row_block · n + K) regardless of the output size.  The edge
-        set is exactly the one :meth:`generate` returns for the same seed,
-        and the returned count equals the number of edge lines written.
+        chunked kernel scores row-blocks into a bounded candidate buffer
+        (in ``config.generation_dtype`` precision), the shared selection
+        core picks the final edge set, and edges stream out in
+        ``flush_every``-line batches — peak memory is O(row_block · n + K)
+        regardless of the output size.  The edge set is exactly the one
+        :meth:`generate` returns for the same seed, and the returned count
+        equals the number of edges written.
+
+        ``shard_edges`` (default ``config.generation_shard_edges``) selects
+        the output layout: 0 writes a single edge-list file plus a
+        ``<path>.meta.json`` sidecar; > 0 writes ``path`` as a *directory*
+        of ~``shard_edges``-edge shards (``shard_format`` ``"edgelist"`` or
+        ``"csr"``) with a ``meta.json`` manifest.  Both record num_nodes,
+        num_edges, the scoring dtype and the seed, so
+        :func:`repro.graphs.read_edge_list` round-trips the graph exactly —
+        including trailing isolated nodes.
         """
         from pathlib import Path
 
+        from ..graphs.io import EdgeShardWriter, _meta_sidecar_path, _write_meta
+
         cfg = config or self.config
+        if shard_edges is None:
+            shard_edges = cfg.generation_shard_edges
         n, target_edges, rng, latents = self._prepare_generation(
             seed, num_nodes, cfg
         )
         strategy = cfg.assembly_strategy
         if self._use_dense_generation(cfg):
+            dtype_used = "float64"  # the dense reference has no f32 path
             edges = self._generate_dense(
                 latents, n, target_edges, rng, strategy
             ).edge_array()
         else:
+            dtype_used = cfg.generation_dtype
             g = self.decoder.edge_features_numpy(latents)
+            g = np.asarray(g, dtype=np.dtype(dtype_used))
             edges = select_edges_sparse(
                 n,
                 self._sparse_candidates(g, target_edges, cfg),
@@ -698,12 +725,31 @@ class CPGAN(GraphGenerator):
                 score_rows=self._score_rows_fn(g),
                 assume_unique=True,
             )
+        extra_meta = {"dtype": dtype_used, "seed": int(seed)}
         path = Path(path)
-        with path.open("w") as handle:
-            handle.write(f"# nodes: {n}\n")
-            for start in range(0, len(edges), max(flush_every, 1)):
-                chunk = edges[start : start + max(flush_every, 1)]
-                handle.writelines(f"{u} {v}\n" for u, v in chunk.tolist())
+        step = max(flush_every, 1)
+        if shard_edges > 0:
+            with EdgeShardWriter(
+                path, n, shard_edges, shard_format, meta=extra_meta
+            ) as writer:
+                for start in range(0, len(edges), step):
+                    writer.write(edges[start : start + step])
+        else:
+            with path.open("w") as handle:
+                handle.write(f"# nodes: {n}\n")
+                for start in range(0, len(edges), step):
+                    chunk = edges[start : start + step]
+                    handle.writelines(f"{u} {v}\n" for u, v in chunk.tolist())
+            _write_meta(
+                _meta_sidecar_path(path),
+                {
+                    "format_version": 1,
+                    "kind": "edge_list",
+                    "num_nodes": int(n),
+                    "num_edges": int(len(edges)),
+                    **extra_meta,
+                },
+            )
         return len(edges)
 
     def _decode_node_features(self, latents: list[np.ndarray]) -> np.ndarray:

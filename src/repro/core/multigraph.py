@@ -42,59 +42,109 @@ class CPGANMultiGraph(CPGAN):
 
     # ------------------------------------------------------------------
     def fit(
-        self, graphs: Sequence[Graph] | Graph, *, callbacks=()
+        self,
+        graphs: Sequence[Graph] | Graph | None = None,
+        *,
+        callbacks=(),
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        run_log_path=None,
+        resume_from=None,
     ) -> "CPGANMultiGraph":
-        if isinstance(graphs, Graph):
-            graphs = [graphs]
-        graphs = list(graphs)
-        if not graphs:
-            raise ValueError("need at least one training graph")
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        self._graphs = graphs
-        self._offsets = list(
-            np.concatenate([[0], np.cumsum([g.num_nodes for g in graphs])[:-1]])
-        )
-        total_nodes = sum(g.num_nodes for g in graphs)
-        self._features = np.vstack(
-            [spectral_embedding(g, dim=cfg.input_dim) for g in graphs]
-        )
-        from ..nn import init as nn_init
+        """Train jointly on a set of graphs through the shared Trainer.
 
-        self.node_embedding = nn.Parameter(
-            nn_init.xavier_uniform((total_nodes, cfg.node_embedding_dim), rng)
-        )
-        pooling_steps = max(cfg.effective_levels - 1, 0)
-        if pooling_steps:
-            per_level: list[list[np.ndarray]] = [[] for _ in range(pooling_steps)]
-            for g in graphs:
-                levels = hierarchical_labels(g, pooling_steps, seed=cfg.seed)
-                for level, labels in enumerate(levels):
-                    per_level[level].append(labels)
-            # Concatenate with disjoint label spaces per graph.
-            self._ground_truth = []
-            for level_labels in per_level:
-                shifted, shift = [], 0
-                for labels in level_labels:
-                    shifted.append(labels + shift)
-                    shift += labels.max() + 1
-                self._ground_truth.append(np.concatenate(shifted))
+        Accepts the same checkpoint/resume surface as :meth:`CPGAN.fit`:
+        ``checkpoint_path``/``checkpoint_every`` write resumable training
+        checkpoints (the archive stores every training graph, the shared
+        optimizer moments, the scheduler and the RNG state), and
+        ``resume_from`` restores one and runs the remaining epochs —
+        reproducing the uninterrupted run bit for bit.  ``graphs`` may be
+        omitted only with ``resume_from`` (the set is restored from the
+        checkpoint; pass it to verify it matches).
+        """
+        resuming = resume_from is not None
+        if resuming:
+            from .persistence import restore_training_checkpoint
+
+            restore_training_checkpoint(self, resume_from, graphs)
+            if not self._graphs:
+                # A plain single-graph CPGAN checkpoint: the degenerate
+                # one-graph round-robin is the same training loop.
+                self._graphs = [self._session.graph]
+                self._offsets = [0]
+            graphs = self._graphs
         else:
-            self._ground_truth = []
+            if graphs is None:
+                raise ValueError(
+                    "fit() needs graphs unless resume_from is given"
+                )
+            if isinstance(graphs, Graph):
+                graphs = [graphs]
+            graphs = list(graphs)
+            if not graphs:
+                raise ValueError("need at least one training graph")
+            cfg = self.config
+            rng = np.random.default_rng(cfg.seed)
+            self._graphs = graphs
+            self._offsets = list(
+                np.concatenate(
+                    [[0], np.cumsum([g.num_nodes for g in graphs])[:-1]]
+                )
+            )
+            total_nodes = sum(g.num_nodes for g in graphs)
+            self._features = np.vstack(
+                [spectral_embedding(g, dim=cfg.input_dim) for g in graphs]
+            )
+            from ..nn import init as nn_init
 
-        # Epochs round-robin over the training graphs through the shared
-        # Trainer; the session makes repeated fit calls continue training.
-        self._session = self._build_session(graphs[0], rng)
+            self.node_embedding = nn.Parameter(
+                nn_init.xavier_uniform(
+                    (total_nodes, cfg.node_embedding_dim), rng
+                )
+            )
+            pooling_steps = max(cfg.effective_levels - 1, 0)
+            if pooling_steps:
+                per_level: list[list[np.ndarray]] = [
+                    [] for _ in range(pooling_steps)
+                ]
+                for g in graphs:
+                    levels = hierarchical_labels(g, pooling_steps, seed=cfg.seed)
+                    for level, labels in enumerate(levels):
+                        per_level[level].append(labels)
+                # Concatenate with disjoint label spaces per graph.
+                self._ground_truth = []
+                for level_labels in per_level:
+                    shifted, shift = [], 0
+                    for labels in level_labels:
+                        shifted.append(labels + shift)
+                        shift += labels.max() + 1
+                    self._ground_truth.append(np.concatenate(shifted))
+            else:
+                self._ground_truth = []
+
+            # Epochs round-robin over the training graphs through the shared
+            # Trainer; the session makes repeated fit calls continue training.
+            self._session = self._build_session(graphs[0], rng)
+        cfg = self.config  # after restore: the checkpoint's config wins
         session = self._session
         Trainer(
             max_epochs=cfg.epochs,
-            callbacks=self._fit_callbacks(callbacks, None, 0, None),
-        ).fit(self._epoch_fn(session), state=session.state)
+            callbacks=self._fit_callbacks(
+                callbacks, checkpoint_path, checkpoint_every, run_log_path
+            ),
+            checkpoint_fn=lambda path, state: self.save_training_checkpoint(
+                path
+            ),
+        ).fit(
+            self._epoch_fn(session),
+            state=session.state,
+            target_epochs=cfg.epochs if resuming else None,
+        )
 
         self._per_graph_latents = []
         for graph, offset in zip(graphs, self._offsets):
             self._per_graph_latents.append(
-                self._infer_latents_for(graph, offset, rng)
+                self._infer_latents_for(graph, offset, session.rng)
             )
         # Default generation target: the first graph.
         self._latents = self._per_graph_latents[0]

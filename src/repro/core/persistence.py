@@ -230,7 +230,15 @@ def load_model(path: str | Path) -> CPGAN:
 # training checkpoints
 # ----------------------------------------------------------------------
 def save_training_checkpoint(model: CPGAN, path: str | Path) -> None:
-    """Snapshot an in-progress training session for bit-identical resume."""
+    """Snapshot an in-progress training session for bit-identical resume.
+
+    Works for :class:`CPGAN` and :class:`~repro.core.multigraph.
+    CPGANMultiGraph`: a multi-graph session additionally stores every
+    training graph's edge list (epochs round-robin over the set, so the
+    full set — not just ``session.graph`` — is part of the resumable
+    state) and tags the archive with ``model_class`` so a resume through
+    the wrong class fails loudly instead of silently dropping graphs.
+    """
     session = model._session
     if session is None:
         raise RuntimeError(
@@ -262,18 +270,30 @@ def save_training_checkpoint(model: CPGAN, path: str | Path) -> None:
         "rng_state": session.rng.bit_generator.state,
         "train_state": session.state.snapshot(),
     }
+    from .multigraph import CPGANMultiGraph  # deferred: avoids an import cycle
+
+    if isinstance(model, CPGANMultiGraph):
+        for i, g in enumerate(model._graphs):
+            arrays[f"graph_edges_{i}"] = g.edge_array()
+        meta["model_class"] = "CPGANMultiGraph"
+        meta["graph_nodes"] = [g.num_nodes for g in model._graphs]
     write_archive(path, arrays, meta)
 
 
 def restore_training_checkpoint(
-    model: CPGAN, path: str | Path, graph: Graph | None = None
+    model: CPGAN, path: str | Path, graph=None
 ) -> None:
     """Rebuild ``model``'s training session from a checkpoint, in place.
 
     The checkpoint's configuration wins (modules are rebuilt from it); pass
     ``graph`` to verify it matches the training graph stored in the
     checkpoint, or omit it to restore the graph from the stored edge list.
+    For a :class:`~repro.core.multigraph.CPGANMultiGraph` checkpoint,
+    ``model`` must be a ``CPGANMultiGraph`` and ``graph`` (if given) is the
+    training graph *sequence*.
     """
+    from .multigraph import CPGANMultiGraph  # deferred: avoids an import cycle
+
     arrays, meta = read_archive(path)
     if meta.get("kind") != "training_checkpoint":
         raise CheckpointError(f"{path} is not a training checkpoint")
@@ -281,17 +301,45 @@ def restore_training_checkpoint(
         raise CheckpointError(
             f"{path}: unsupported checkpoint version {meta.get('version')}"
         )
+    multi = meta.get("model_class") == "CPGANMultiGraph"
+    if multi and not isinstance(model, CPGANMultiGraph):
+        raise CheckpointError(
+            f"{path} is a CPGANMultiGraph checkpoint — resume it with "
+            "CPGANMultiGraph().fit(resume_from=...)"
+        )
     try:
-        stored = Graph.from_edges(meta["num_nodes"], arrays["observed_edges"])
-        if graph is not None:
-            if graph.num_nodes != stored.num_nodes or not np.array_equal(
-                graph.edge_array(), stored.edge_array()
-            ):
-                raise CheckpointError(
-                    f"graph passed to resume does not match the training "
-                    f"graph stored in {path}"
-                )
-            stored = graph
+        graphs: list[Graph] | None = None
+        if multi:
+            graphs = [
+                Graph.from_edges(n, arrays[f"graph_edges_{i}"])
+                for i, n in enumerate(meta["graph_nodes"])
+            ]
+            if graph is not None:
+                passed = [graph] if isinstance(graph, Graph) else list(graph)
+                if len(passed) != len(graphs) or any(
+                    p.num_nodes != g.num_nodes
+                    or not np.array_equal(p.edge_array(), g.edge_array())
+                    for p, g in zip(passed, graphs)
+                ):
+                    raise CheckpointError(
+                        f"graphs passed to resume do not match the training "
+                        f"set stored in {path}"
+                    )
+                graphs = passed
+            stored = graphs[0]
+        else:
+            stored = Graph.from_edges(
+                meta["num_nodes"], arrays["observed_edges"]
+            )
+            if graph is not None:
+                if graph.num_nodes != stored.num_nodes or not np.array_equal(
+                    graph.edge_array(), stored.edge_array()
+                ):
+                    raise CheckpointError(
+                        f"graph passed to resume does not match the training "
+                        f"graph stored in {path}"
+                    )
+                stored = graph
         config = CPGANConfig(**meta["config"])
         model.config = config
         init_rng = np.random.default_rng(config.seed)
@@ -306,6 +354,14 @@ def restore_training_checkpoint(
             arrays[f"ground_truth_{i}"]
             for i in range(meta["num_ground_truth"])
         ]
+        if multi:
+            model._graphs = graphs
+            model._offsets = list(
+                np.concatenate(
+                    [[0], np.cumsum([g.num_nodes for g in graphs])[:-1]]
+                )
+            )
+            model._per_graph_latents = []
         session = model._build_session(
             stored, np.random.default_rng(config.seed)
         )

@@ -67,7 +67,9 @@ def clear_cache(cache_dir: str | Path | None = None) -> int:
         return 0
     removed = 0
     for path in cache.iterdir():
-        if path.suffix in (".edges", ".npy") or path.name.endswith(".labels.npy"):
+        if path.suffix in (".edges", ".npy") or path.name.endswith(
+            (".labels.npy", ".meta.json")
+        ):
             path.unlink()
             removed += 1
     return removed

@@ -3,7 +3,12 @@
 from .assembly import assemble_graph, assemble_graph_sparse, select_edges_sparse
 from .cores import core_numbers, core_size_profile, max_core
 from .graph import Graph
-from .io import read_edge_list, write_edge_list
+from .io import (
+    EdgeShardWriter,
+    read_edge_list,
+    read_edge_shards,
+    write_edge_list,
+)
 from .sampling import degree_proportional_sample, sample_subgraph, uniform_sample
 from .spectral import spectral_embedding
 from .stats import (
@@ -28,6 +33,8 @@ __all__ = [
     "select_edges_sparse",
     "read_edge_list",
     "write_edge_list",
+    "EdgeShardWriter",
+    "read_edge_shards",
     "degree_proportional_sample",
     "uniform_sample",
     "sample_subgraph",

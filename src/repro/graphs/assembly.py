@@ -43,8 +43,11 @@ _SPARSE_STRATEGIES = ("categorical_topk", "topk", "threshold")
 
 #: Scratch budget (elements) for one block of repair score rows; bounds the
 #: repair pass at O(_REPAIR_SCORE_BLOCK) extra memory even when most nodes
-#: are isolated.
-_REPAIR_SCORE_BLOCK = 500_000
+#: are isolated.  Partner draws are independent per row and the draw batch
+#: is indexed by absolute position, so the block size never affects which
+#: partners are chosen — it only trades peak scratch against the number of
+#: ``score_rows`` round-trips (each one a BLAS matmul worth amortising).
+_REPAIR_SCORE_BLOCK = 2_000_000
 
 
 def _symmetric_scores(scores: np.ndarray) -> np.ndarray:
@@ -194,6 +197,78 @@ def _choose_evictions(
     return np.asarray(evict, dtype=np.int64)
 
 
+def _draw_partners(
+    isolated: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    score_rows: Callable[[np.ndarray], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Categorical partner draw for every isolated node: (src, partner, score).
+
+    Each node draws one partner from the distribution ∝ ``row²`` (its
+    sharpened score row).  One ``rng.random`` batch up front — stream order
+    is part of the reproducibility contract — then the rows stream through
+    in bounded blocks.  The block body allocates once and reuses scratch
+    across blocks: the sharpened rows and their CDF share one buffer
+    (``np.cumsum`` with ``out=`` aliasing its input is the sequential
+    in-place accumulate, same bits as a fresh-array cumsum), and the
+    inverse-CDF lookup is a per-row ``searchsorted`` — identical to
+    counting entries below the target, since the CDF is non-decreasing —
+    instead of materialising a block × n boolean matrix.  Rows keep the
+    precision ``score_rows`` produced (float32 repair runs fully in
+    float32; float64 reproduces the historical pipeline bit for bit).
+    Nodes whose row sums to zero draw nothing and are dropped.
+    """
+    draws = rng.random(isolated.size)
+    block = max(_REPAIR_SCORE_BLOCK // max(n, 1), 1)
+    src_parts: list[np.ndarray] = []
+    partner_parts: list[np.ndarray] = []
+    score_parts: list[np.ndarray] = []
+    scratch: np.ndarray | None = None
+    for start in range(0, isolated.size, block):
+        nodes = isolated[start : start + block]
+        rows = np.asarray(score_rows(nodes))
+        if rows.dtype not in (np.float64, np.float32):
+            rows = rows.astype(float)
+        m = nodes.size
+        rows[np.arange(m), nodes] = 0.0
+        if scratch is None or scratch.dtype != rows.dtype:
+            scratch = np.empty((min(block, isolated.size), n), rows.dtype)
+        sharpened = scratch[:m]
+        np.square(rows, out=sharpened)  # sharpen: favour confident entries
+        totals = sharpened.sum(axis=1)  # before the in-place cumsum below
+        valid = np.flatnonzero(totals > 0)
+        if valid.size == 0:
+            continue
+        cdf = np.cumsum(sharpened, axis=1, out=sharpened)
+        if valid.size == totals.size:  # common: skip the fancy-index copies
+            targets = draws[start : start + block] * totals
+            src = nodes
+            score_lookup = rows
+        else:
+            cdf = cdf[valid]
+            targets = draws[start : start + block][valid] * totals[valid]
+            src = nodes[valid]
+            score_lookup = rows[valid]
+        partners = np.empty(targets.size, dtype=np.int64)
+        for i in range(targets.size):
+            partners[i] = np.searchsorted(cdf[i], targets[i], side="left")
+        np.minimum(partners, n - 1, out=partners)
+        src_parts.append(src)
+        partner_parts.append(partners)
+        score_parts.append(score_lookup[np.arange(partners.size), partners])
+    if not src_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0)
+    if len(src_parts) == 1:
+        return src_parts[0], partner_parts[0], score_parts[0]
+    return (
+        np.concatenate(src_parts),
+        np.concatenate(partner_parts),
+        np.concatenate(score_parts),
+    )
+
+
 def _repair_isolated(
     u: np.ndarray,
     v: np.ndarray,
@@ -223,46 +298,9 @@ def _repair_isolated(
     isolated = np.flatnonzero(degree == 0)
     if isolated.size == 0:
         return u, v
-    # One RNG batch up front (stream order is part of the reproducibility
-    # contract), then score rows in bounded blocks so the scratch stays
-    # O(_REPAIR_SCORE_BLOCK) even when nearly every node is isolated.
-    draws = rng.random(isolated.size)
-    block = max(_REPAIR_SCORE_BLOCK // max(n, 1), 1)
-    src_parts: list[np.ndarray] = []
-    partner_parts: list[np.ndarray] = []
-    score_parts: list[np.ndarray] = []
-    for start in range(0, isolated.size, block):
-        nodes = isolated[start : start + block]
-        rows = np.asarray(score_rows(nodes), dtype=float)
-        rows[np.arange(nodes.size), nodes] = 0.0
-        sharpened = np.square(rows)  # sharpen: favour confident entries
-        totals = sharpened.sum(axis=1)
-        valid = np.flatnonzero(totals > 0)
-        if valid.size == 0:
-            continue
-        if valid.size == totals.size:  # common: skip the fancy-index copies
-            cdf = np.cumsum(sharpened, axis=1)
-            targets = draws[start : start + block] * totals
-            src = nodes
-            score_lookup = rows
-        else:
-            cdf = np.cumsum(sharpened[valid], axis=1)
-            targets = draws[start : start + block][valid] * totals[valid]
-            src = nodes[valid]
-            score_lookup = rows[valid]
-        partners = (cdf < targets[:, None]).sum(axis=1)
-        partners = np.minimum(partners, n - 1)
-        src_parts.append(src)
-        partner_parts.append(partners)
-        score_parts.append(score_lookup[np.arange(partners.size), partners])
-    if not src_parts:
+    src, partners, es = _draw_partners(isolated, n, rng, score_rows)
+    if src.size == 0:
         return u, v
-    if len(src_parts) == 1:
-        src, partners, es = src_parts[0], partner_parts[0], score_parts[0]
-    else:
-        src = np.concatenate(src_parts)
-        partners = np.concatenate(partner_parts)
-        es = np.concatenate(score_parts)
     eu = np.minimum(src, partners)
     ev = np.maximum(src, partners)
     keep = eu != ev

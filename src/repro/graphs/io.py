@@ -3,35 +3,275 @@
 Plain-text edge lists (one ``u v`` pair per line, ``#`` comments, a header
 recording the node count) — the same format the SNAP datasets referenced by
 the paper ship in, so real downloads can be dropped in transparently.
+
+Two additions support streaming generation at scale:
+
+* **Meta sidecar.**  :func:`write_edge_list` drops a ``<path>.meta.json``
+  next to the edge list recording ``num_nodes``/``num_edges`` (plus any
+  caller-supplied fields, e.g. the generation seed and scoring dtype).
+  :func:`read_edge_list` prefers the sidecar over the in-file header, so
+  trailing isolated nodes survive a round-trip even through tools that
+  strip ``#`` comments; legacy header-less files fall back to max-index
+  inference with a warning.
+* **Sharded output.**  :class:`EdgeShardWriter` streams an edge sequence
+  into a *directory* of bounded shards — plain edge-list text or CSR
+  ``.npz`` — plus a ``meta.json`` manifest, so a 100k–1M-node graph never
+  has to exist as one giant file (or one giant in-memory array) to be
+  written or read.  :func:`read_edge_list` accepts such a directory
+  transparently.
 """
 
 from __future__ import annotations
 
+import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from .graph import Graph
 
-__all__ = ["write_edge_list", "read_edge_list"]
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "EdgeShardWriter",
+    "read_edge_shards",
+]
+
+#: Manifest schema version for shard directories and meta sidecars.
+_META_VERSION = 1
+
+_SHARD_FORMATS = ("edgelist", "csr")
 
 
-def write_edge_list(graph: Graph, path: str | Path) -> None:
-    """Write ``graph`` to ``path`` as an edge list with a node-count header."""
+def _meta_sidecar_path(path: Path) -> Path:
+    return path.parent / (path.name + ".meta.json")
+
+
+def _write_meta(path: Path, meta: dict) -> None:
+    with path.open("w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_edge_list(
+    graph: Graph,
+    path: str | Path,
+    meta: dict | None = None,
+    sidecar: bool = True,
+) -> None:
+    """Write ``graph`` to ``path`` as an edge list with a node-count header.
+
+    Unless ``sidecar=False``, also writes ``<path>.meta.json`` recording
+    the exact node and edge counts (merged with any caller-supplied
+    ``meta`` fields) so readers never have to infer the node count — the
+    in-file header stays for SNAP-style compatibility.
+    """
     path = Path(path)
     with path.open("w") as handle:
         handle.write(f"# nodes: {graph.num_nodes}\n")
         for u, v in graph.edges():
             handle.write(f"{u} {v}\n")
+    if sidecar:
+        payload = {
+            "format_version": _META_VERSION,
+            "kind": "edge_list",
+            "num_nodes": int(graph.num_nodes),
+            "num_edges": int(graph.num_edges),
+        }
+        if meta:
+            payload.update(meta)
+        _write_meta(_meta_sidecar_path(path), payload)
+
+
+class EdgeShardWriter:
+    """Stream canonical ``(u, v)`` edges into a bounded-shard directory.
+
+    The caller feeds batches of edges in canonical order (unique, ``u <
+    v``, sorted by ``(u, v)`` — the order :func:`select_edges_sparse`
+    emits); the writer cuts shards of about ``shard_edges`` edges each and
+    finishes with a ``meta.json`` manifest.  Peak memory is O(shard), not
+    O(graph).
+
+    ``fmt="edgelist"`` shards are plain ``u v`` text files.
+    ``fmt="csr"`` shards are ``.npz`` files holding ``row_start`` (the
+    first source node of the shard), a local ``indptr`` over the rows the
+    shard covers, and the flat ``indices``; CSR shards only split at a
+    source-row boundary so each row's adjacency lives in exactly one
+    shard (a single row larger than ``shard_edges`` makes one oversized
+    shard rather than a broken one).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        num_nodes: int,
+        shard_edges: int,
+        fmt: str = "edgelist",
+        meta: dict | None = None,
+    ) -> None:
+        if shard_edges < 1:
+            raise ValueError("shard_edges must be >= 1")
+        if fmt not in _SHARD_FORMATS:
+            raise ValueError(
+                f"unknown shard format: {fmt!r} (choose from {_SHARD_FORMATS})"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.num_nodes = int(num_nodes)
+        self.shard_edges = int(shard_edges)
+        self.fmt = fmt
+        self._extra_meta = dict(meta) if meta else {}
+        self._pending: list[np.ndarray] = []
+        self._pending_size = 0
+        self._shards: list[dict] = []
+        self._num_edges = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def write(self, edges: np.ndarray) -> None:
+        """Append a ``(m, 2)`` batch of canonical edges."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size == 0:
+            return
+        self._pending.append(edges)
+        self._pending_size += edges.shape[0]
+        while self._pending_size >= self.shard_edges:
+            if not self._flush_shard(final=False):
+                break  # csr: no row boundary in the buffer yet
+
+    def close(self) -> dict:
+        """Flush the tail shard and write ``meta.json``; returns the meta."""
+        if self._closed:
+            raise ValueError("EdgeShardWriter is already closed")
+        while self._pending_size:
+            self._flush_shard(final=True)
+        self._closed = True
+        meta = {
+            "format_version": _META_VERSION,
+            "kind": "edge_shards",
+            "format": self.fmt,
+            "num_nodes": self.num_nodes,
+            "num_edges": self._num_edges,
+            "shard_edges": self.shard_edges,
+            "shards": self._shards,
+        }
+        meta.update(self._extra_meta)
+        _write_meta(self.directory / "meta.json", meta)
+        return meta
+
+    def __enter__(self) -> "EdgeShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.close()
+
+    # ------------------------------------------------------------------
+    def _flush_shard(self, final: bool) -> bool:
+        buffered = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else np.concatenate(self._pending)
+        )
+        if final and buffered.shape[0] <= self.shard_edges:
+            cut = buffered.shape[0]
+        elif self.fmt == "csr":
+            # Cut at the last row boundary at or past the target size, so
+            # no source row straddles two shards.
+            u = buffered[:, 0]
+            cut = int(
+                np.searchsorted(u, u[min(self.shard_edges, u.size) - 1], "right")
+            )
+            if cut >= buffered.shape[0] and not final:
+                return False  # the open row may still grow; wait for more
+        else:
+            cut = min(self.shard_edges, buffered.shape[0])
+        shard, rest = buffered[:cut], buffered[cut:]
+        index = len(self._shards)
+        if self.fmt == "edgelist":
+            name = f"shard_{index:05d}.edges"
+            with (self.directory / name).open("w") as handle:
+                for u, v in shard:
+                    handle.write(f"{u} {v}\n")
+        else:
+            name = f"shard_{index:05d}.npz"
+            row_start = int(shard[0, 0])
+            row_stop = int(shard[-1, 0]) + 1
+            indptr = np.zeros(row_stop - row_start + 1, dtype=np.int64)
+            counts = np.bincount(
+                shard[:, 0] - row_start, minlength=row_stop - row_start
+            )
+            np.cumsum(counts, out=indptr[1:])
+            np.savez(
+                self.directory / name,
+                row_start=np.int64(row_start),
+                indptr=indptr,
+                indices=shard[:, 1],
+            )
+        self._shards.append({"file": name, "num_edges": int(cut)})
+        self._num_edges += int(cut)
+        self._pending = [rest] if rest.size else []
+        self._pending_size = int(rest.shape[0])
+        return True
+
+
+def read_edge_shards(directory: str | Path) -> Graph:
+    """Read a shard directory written by :class:`EdgeShardWriter`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise ValueError(f"{directory} has no meta.json shard manifest")
+    with meta_path.open() as handle:
+        meta = json.load(handle)
+    if meta.get("kind") != "edge_shards":
+        raise ValueError(
+            f"{meta_path} is not an edge-shard manifest "
+            f"(kind={meta.get('kind')!r})"
+        )
+    fmt = meta.get("format", "edgelist")
+    parts: list[np.ndarray] = []
+    for shard in meta["shards"]:
+        shard_path = directory / shard["file"]
+        if fmt == "edgelist":
+            part = np.loadtxt(shard_path, dtype=np.int64, ndmin=2)
+        else:
+            with np.load(shard_path) as data:
+                indptr = data["indptr"]
+                indices = data["indices"]
+                row_start = int(data["row_start"])
+            u = row_start + np.repeat(
+                np.arange(indptr.size - 1), np.diff(indptr)
+            )
+            part = np.column_stack([u, indices])
+        if part.size:
+            parts.append(part)
+    edges = (
+        np.concatenate(parts) if parts else np.zeros((0, 2), dtype=np.int64)
+    )
+    if edges.shape[0] != meta["num_edges"]:
+        raise ValueError(
+            f"shard directory {directory} holds {edges.shape[0]} edges, "
+            f"manifest declares {meta['num_edges']}"
+        )
+    # The writer only accepts canonical batches, so the trusted constructor
+    # applies; Graph.from_canonical_edges validates nothing by design.
+    return Graph.from_canonical_edges(int(meta["num_nodes"]), edges)
 
 
 def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
     """Read an edge list written by :func:`write_edge_list` (or SNAP-style).
 
-    If the file carries no ``# nodes:`` header and ``num_nodes`` is not
-    given, the node count is inferred as ``max id + 1``.
+    ``path`` may also be a shard directory written by
+    :class:`EdgeShardWriter` (see :func:`read_edge_shards`).  For a single
+    file the node count is resolved in priority order: the explicit
+    ``num_nodes`` argument, the ``<path>.meta.json`` sidecar, the
+    ``# nodes:`` header, and finally ``max id + 1`` inference — the last
+    with a warning, because it silently drops trailing isolated nodes.
     """
     path = Path(path)
+    if path.is_dir():
+        return read_edge_shards(path)
     edges: list[tuple[int, int]] = []
     declared = None
     with path.open() as handle:
@@ -46,10 +286,20 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
             parts = line.split()
             edges.append((int(parts[0]), int(parts[1])))
     if num_nodes is None:
-        if declared is not None:
+        sidecar = _meta_sidecar_path(path)
+        if sidecar.exists():
+            with sidecar.open() as handle:
+                num_nodes = int(json.load(handle)["num_nodes"])
+        elif declared is not None:
             num_nodes = declared
         elif edges:
             num_nodes = int(np.max(edges)) + 1
+            warnings.warn(
+                f"{path} has no meta sidecar or '# nodes:' header; "
+                f"inferring num_nodes = max index + 1 = {num_nodes}, which "
+                "drops any trailing isolated nodes",
+                stacklevel=2,
+            )
         else:
             num_nodes = 0
     return Graph.from_edges(num_nodes, edges)

@@ -58,9 +58,16 @@ def _stable_sigmoid(x: np.ndarray, overwrite_input: bool = False) -> np.ndarray:
     in-place passes total.  ``overwrite_input`` lets callers that own ``x``
     as a throwaway temporary skip the defensive copy entirely (same
     operations, same bits, one fewer array).
+
+    Float inputs keep their precision: a float32 array flows through in
+    float32 (the precision-aware scoring path relies on this); everything
+    else is promoted to float64 exactly as before.
     """
-    e = np.asarray(x, dtype=float)
-    if e is x and not overwrite_input:
+    e = np.asarray(x)
+    if e.dtype != np.float64 and e.dtype != np.float32:
+        e = e.astype(np.float64)  # fresh array: safe to overwrite below
+        np.negative(e, out=e)
+    elif e is x and not overwrite_input:
         # asarray again: ufuncs hand 0-d inputs back as scalars, and the
         # in-place passes below need a real ndarray.
         e = np.asarray(np.negative(e))

@@ -47,6 +47,7 @@ class _Entry:
             "edges": self.meta.get("num_edges"),
             "levels": self.meta.get("num_levels"),
             "generation_mode": config.get("generation_mode"),
+            "generation_dtype": config.get("generation_dtype"),
             "latent_source": config.get("latent_source"),
             "assembly_strategy": config.get("assembly_strategy"),
             "provenance": self.meta.get("provenance"),

@@ -86,6 +86,9 @@ def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
 
 #: Per-request config overrides a client may send.  Everything else in
 #: CPGANConfig shapes *training* and cannot change at serving time.
+#: ``generation_dtype`` is part of the cache/coalesce key: float32 and
+#: float64 requests produce (deterministically) different graphs, so they
+#: never share a cache entry or a micro-batch.
 ALLOWED_PARAMS = frozenset(
     {
         "latent_source",
@@ -93,6 +96,7 @@ ALLOWED_PARAMS = frozenset(
         "assembly_strategy",
         "generation_mode",
         "candidate_factor",
+        "generation_dtype",
     }
 )
 

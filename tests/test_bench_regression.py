@@ -20,7 +20,13 @@ from repro.bench import (
     run_hotpath_bench,
 )
 
-HOT_PATHS = {"train_epoch", "generation", "generation_large", "mmd_eval"}
+HOT_PATHS = {
+    "train_epoch",
+    "generation",
+    "generation_large",
+    "generation_xlarge",
+    "mmd_eval",
+}
 
 
 @pytest.fixture(scope="module")
@@ -36,6 +42,8 @@ def test_quick_run_structure(quick_run):
         assert entry["mean_s"] > 0
         assert entry["normalized"] > 0
         assert entry["std_s"] >= 0
+    xlarge = quick_run["hot_paths"]["generation_xlarge"]
+    assert 0 < xlarge["peak_mb"] <= xlarge["budget_mb"]
 
 
 def test_roundtrip_baseline_passes(quick_run, tmp_path):

@@ -1,0 +1,151 @@
+"""Edge-list IO: meta sidecars, sharded output, and legacy fallbacks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    EdgeShardWriter,
+    Graph,
+    read_edge_list,
+    read_edge_shards,
+    write_edge_list,
+)
+
+
+def _graph_with_tail(num_nodes: int = 30, seed: int = 0) -> Graph:
+    """A random graph whose last few nodes are isolated (the sidecar's
+    reason to exist: header-stripping tools would silently drop them)."""
+    rng = np.random.default_rng(seed)
+    active = num_nodes - 4
+    pairs = set()
+    while len(pairs) < 2 * active:
+        u, v = rng.integers(0, active, size=2)
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    return Graph.from_edges(num_nodes, sorted(pairs))
+
+
+class TestMetaSidecar:
+    def test_roundtrip_preserves_trailing_isolated_nodes(self, tmp_path):
+        graph = _graph_with_tail()
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path, meta={"seed": 7})
+        sidecar = tmp_path / "g.txt.meta.json"
+        assert sidecar.exists()
+        meta = json.loads(sidecar.read_text())
+        assert meta["kind"] == "edge_list"
+        assert meta["num_nodes"] == graph.num_nodes
+        assert meta["num_edges"] == graph.num_edges
+        assert meta["seed"] == 7
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert np.array_equal(loaded.edge_array(), graph.edge_array())
+
+    def test_sidecar_preferred_over_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes: 5\n0 1\n")
+        (tmp_path / "g.txt.meta.json").write_text(
+            json.dumps({"num_nodes": 9, "num_edges": 1})
+        )
+        assert read_edge_list(path).num_nodes == 9
+
+    def test_explicit_num_nodes_beats_everything(self, tmp_path):
+        graph = _graph_with_tail()
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path, num_nodes=50).num_nodes == 50
+
+    def test_legacy_headerless_file_warns(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        path.write_text("0 1\n2 3\n")
+        with pytest.warns(UserWarning, match="trailing isolated nodes"):
+            graph = read_edge_list(path)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 2
+
+    def test_header_still_honoured_without_sidecar(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# nodes: 11\n0 1\n2 3\n")
+        graph = read_edge_list(path)  # no warning expected
+        assert graph.num_nodes == 11
+
+
+class TestEdgeShards:
+    @pytest.mark.parametrize("fmt", ["edgelist", "csr"])
+    def test_roundtrip(self, tmp_path, fmt):
+        graph = _graph_with_tail(num_nodes=40, seed=1)
+        edges = graph.edge_array()
+        out = tmp_path / "shards"
+        with EdgeShardWriter(out, graph.num_nodes, 10, fmt=fmt) as writer:
+            # Uneven batches exercise the buffering/cut logic.
+            for start in range(0, edges.shape[0], 7):
+                writer.write(edges[start : start + 7])
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["kind"] == "edge_shards"
+        assert meta["format"] == fmt
+        assert meta["num_edges"] == edges.shape[0]
+        assert sum(s["num_edges"] for s in meta["shards"]) == edges.shape[0]
+        assert len(meta["shards"]) >= 2
+        loaded = read_edge_shards(out)
+        assert loaded.num_nodes == graph.num_nodes
+        assert np.array_equal(loaded.edge_array(), edges)
+
+    def test_read_edge_list_accepts_directory(self, tmp_path):
+        graph = _graph_with_tail(num_nodes=25, seed=2)
+        out = tmp_path / "shards"
+        with EdgeShardWriter(out, graph.num_nodes, 8) as writer:
+            writer.write(graph.edge_array())
+        loaded = read_edge_list(out)
+        assert np.array_equal(loaded.edge_array(), graph.edge_array())
+
+    def test_csr_shards_cut_at_row_boundaries(self, tmp_path):
+        graph = _graph_with_tail(num_nodes=40, seed=3)
+        out = tmp_path / "csr"
+        with EdgeShardWriter(out, graph.num_nodes, 6, fmt="csr") as writer:
+            writer.write(graph.edge_array())
+        meta = json.loads((out / "meta.json").read_text())
+        last_rows = []
+        for shard in meta["shards"]:
+            with np.load(out / shard["file"]) as data:
+                indptr = data["indptr"]
+                row_start = int(data["row_start"])
+            u = row_start + np.repeat(np.arange(indptr.size - 1), np.diff(indptr))
+            last_rows.append((u.min(), u.max()))
+        # Consecutive shards never share a source row.
+        for (_, hi), (lo, _) in zip(last_rows, last_rows[1:]):
+            assert hi < lo
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        out = tmp_path / "empty"
+        with EdgeShardWriter(out, 6, 4) as writer:
+            pass
+        loaded = read_edge_shards(out)
+        assert loaded.num_nodes == 6
+        assert loaded.num_edges == 0
+
+    def test_manifest_kind_validated(self, tmp_path):
+        out = tmp_path / "bad"
+        out.mkdir()
+        (out / "meta.json").write_text(json.dumps({"kind": "edge_list"}))
+        with pytest.raises(ValueError, match="not an edge-shard manifest"):
+            read_edge_shards(out)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        out = tmp_path / "nothing"
+        out.mkdir()
+        with pytest.raises(ValueError, match="meta.json"):
+            read_edge_shards(out)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        graph = _graph_with_tail(num_nodes=20, seed=4)
+        out = tmp_path / "shards"
+        with EdgeShardWriter(out, graph.num_nodes, 100) as writer:
+            writer.write(graph.edge_array())
+        meta_path = out / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["num_edges"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="manifest declares"):
+            read_edge_shards(out)
