@@ -43,6 +43,11 @@ def _settings_from_args(args: argparse.Namespace) -> HotpathSettings:
         mmd_graphs=base.mmd_graphs,
         seed=base.seed,
         threads=args.threads if args.threads is not None else base.threads,
+        repair_sampler=(
+            args.repair_sampler
+            if args.repair_sampler is not None
+            else base.repair_sampler
+        ),
         xlarge_nodes=(
             args.xlarge_nodes
             if args.xlarge_nodes is not None
@@ -54,8 +59,26 @@ def _settings_from_args(args: argparse.Namespace) -> HotpathSettings:
             if args.xlarge_dtype is not None
             else base.xlarge_dtype
         ),
+        xlarge_sampler=(
+            args.xlarge_sampler
+            if args.xlarge_sampler is not None
+            else base.xlarge_sampler
+        ),
         xlarge_shard_edges=base.xlarge_shard_edges,
         xlarge_budget_mb=base.xlarge_budget_mb,
+        xxlarge_nodes=(
+            args.xxlarge_nodes
+            if args.xxlarge_nodes is not None
+            else base.xxlarge_nodes
+        ),
+        xxlarge_repeats=base.xxlarge_repeats,
+        xxlarge_dtype=base.xxlarge_dtype,
+        xxlarge_shard_edges=(
+            args.xxlarge_shard_edges
+            if args.xxlarge_shard_edges is not None
+            else base.xxlarge_shard_edges
+        ),
+        xxlarge_budget_mb=base.xxlarge_budget_mb,
     )
 
 
@@ -85,6 +108,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="scoring precision for generation_xlarge (default float32 — "
         "the scaling configuration; CI also gates float64)",
+    )
+    parser.add_argument(
+        "--repair-sampler",
+        choices=["dense", "factored"],
+        default=None,
+        help="isolated-node repair sampler for the generation/"
+        "generation_large paths (default dense — the bit-stable contract)",
+    )
+    parser.add_argument(
+        "--xlarge-sampler",
+        choices=["dense", "factored"],
+        default=None,
+        help="repair sampler for the streaming generation_xlarge/"
+        "generation_xxlarge cells (default factored — the scaling "
+        "configuration)",
+    )
+    parser.add_argument(
+        "--xxlarge-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="node count for the generation_xxlarge streaming path "
+        "(default 1000000, or 2000 with --quick)",
+    )
+    parser.add_argument(
+        "--xxlarge-shard-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="edges per CSR shard for generation_xxlarge",
     )
     parser.add_argument(
         "--output",

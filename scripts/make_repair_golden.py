@@ -1,0 +1,82 @@
+"""Regenerate tests/data/repair_golden_stream.json.
+
+The golden file pins the float64 dense repair stream — the exact edge set
+``select_edges_sparse`` produces for fixed synthetic inputs, including the
+categorical partner draws of the isolated-node repair pass (contract v1).
+Any change to the dense sampler's RNG consumption pattern, CDF arithmetic,
+partner lookup, dedup, or eviction order shows up as a diff against this
+file and must be treated as a reproducibility-contract break.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/make_repair_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.assembly import select_edges_sparse
+
+OUT = Path(__file__).resolve().parents[1] / "tests" / "data" / "repair_golden_stream.json"
+
+
+def _scenario_matrix(n: int, seed: int, zero_rows: int = 0) -> np.ndarray:
+    """Symmetric non-negative score matrix with a sharp (sparse-ish) tail."""
+    rng = np.random.default_rng(seed)
+    s = rng.random((n, n)) ** 6
+    s = (s + s.T) / 2.0
+    np.fill_diagonal(s, 0.0)
+    if zero_rows:
+        dead = rng.choice(n, size=zero_rows, replace=False)
+        s[dead, :] = 0.0
+        s[:, dead] = 0.0
+    return s
+
+
+def _scenario(n: int, seed: int, num_candidates: int, num_edges: int,
+              zero_rows: int = 0) -> dict:
+    s = _scenario_matrix(n, seed, zero_rows)
+    rng = np.random.default_rng(seed + 1)
+    iu, ju = np.triu_indices(n, k=1)
+    pick = rng.choice(iu.size, size=min(num_candidates, iu.size), replace=False)
+    pick.sort()
+    u, v = iu[pick], ju[pick]
+    edges = select_edges_sparse(
+        n,
+        (u, v, s[u, v]),
+        num_edges,
+        rng=np.random.default_rng(seed + 2),
+        strategy="categorical_topk",
+        score_rows=lambda nodes: s[nodes],
+        assume_unique=True,
+    )
+    return {
+        "n": n,
+        "seed": seed,
+        "num_candidates": int(pick.size),
+        "num_edges": num_edges,
+        "zero_rows": zero_rows,
+        "edges": edges.tolist(),
+    }
+
+
+def main() -> None:
+    scenarios = [
+        # Multi-block repair: ~2000 isolated sources at n=2048 exceeds the
+        # 2M-element scratch budget, so _draw_partners streams >= 2 blocks;
+        # num_edges below candidates + repairs also exercises eviction.
+        _scenario(n=2048, seed=11, num_candidates=400, num_edges=1500),
+        # Zero-score rows: dead nodes draw nothing and are dropped.
+        _scenario(n=64, seed=5, num_candidates=30, num_edges=48, zero_rows=8),
+    ]
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps({"contract": 1, "scenarios": scenarios}) + "\n")
+    print(f"wrote {OUT} ({sum(len(sc['edges']) for sc in scenarios)} edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,12 +14,22 @@ regression-gated quantities:
   where a dense n×n decode would dominate;
 * ``generation_xlarge`` — streaming generation at production scale
   (100k nodes by default): ``generate_to_file`` into a sharded edge
-  directory with float32 scoring, run under ``tracemalloc`` with a fixed
-  peak-memory budget.  The budget is asserted inside the timed region, so
-  both a baseline measurement and ``--check`` fail loudly if streaming
-  ever starts materialising super-linear intermediates;
+  directory with float32 scoring and the factored repair sampler, run
+  under ``tracemalloc`` with a fixed peak-memory budget.  The budget is
+  asserted inside the timed region, so both a baseline measurement and
+  ``--check`` fail loudly if streaming ever starts materialising
+  super-linear intermediates;
+* ``generation_xxlarge`` — the million-node cell: the same streaming
+  pipeline at 1M nodes into CSR shards, under its own fixed tracemalloc
+  budget.  This is the regime the factored rejection sampler exists for —
+  a dense repair pass would be O(isolated x n) score-row materialisations;
 * ``mmd_eval``    — the GraphRNN-protocol degree + clustering MMD between
   two graph samples (the ``Deg.``/``Clus.`` columns of Table IV).
+
+The streaming cells also report the repair pass's accounting (wall-clock,
+isolated count, proposal/acceptance totals) pulled from the generation
+``_stats`` channel, so a sampler-efficiency regression is visible in the
+committed baseline even when total wall-clock hides it.
 
 Timings are written to ``BENCH_hotpath.json`` at the repository root by
 ``benchmarks/bench_hotpath.py``.  Because absolute seconds are machine
@@ -82,15 +92,31 @@ class HotpathSettings:
     threads: int = 1          # generation_threads for the sparse top-k
     #   kernel on the generation/generation_large paths; the output graphs
     #   are bit-identical at every value, so this is a pure wall-clock axis
+    repair_sampler: str = "dense"  # isolated-node repair draw for the
+    #   generation/generation_large paths; "dense" keeps those cells
+    #   bit-comparable with the historical baseline (contract v1)
     xlarge_nodes: int = 100_000   # generation_xlarge target size
-    xlarge_repeats: int = 1       # its own repeat count — one rep is ~minutes
-    #   at full scale (the repair pass is O(isolated x n) by its sampling
-    #   semantics), and the normalized ratio tolerates single-rep noise
+    xlarge_repeats: int = 1       # its own repeat count — one rep is
+    #   seconds-to-minutes at full scale, and the normalized ratio
+    #   tolerates single-rep noise
     xlarge_dtype: str = "float32"  # the scaling precision under test;
     #   CI additionally gates the float64 streaming path via --xlarge-dtype
+    xlarge_sampler: str = "factored"  # repair sampler for the streaming
+    #   cells — factored is the scaling configuration (a dense repair at
+    #   100k+ nodes materialises one score row per isolated node);
+    #   CI additionally gates dense via --xlarge-sampler
     xlarge_shard_edges: int = 100_000  # edges per output shard
     xlarge_budget_mb: int = 512   # tracemalloc peak budget — FIXED, does not
     #   scale with xlarge_nodes; exceeding it raises inside the timed region
+    xxlarge_nodes: int = 1_000_000  # generation_xxlarge: the million-node cell
+    xxlarge_repeats: int = 1
+    xxlarge_dtype: str = "float32"
+    xxlarge_shard_edges: int = 1_000_000  # edges per CSR shard
+    xxlarge_budget_mb: int = 4608  # fixed ceiling for the 1M stream — the
+    #   float64 GRU feature decode dominates the peak (the n x 2·hidden
+    #   gate matrix plus candidate/hidden state, all f64 for bit-identity
+    #   with the autograd forward; measured 4395 MiB at 1M nodes), the
+    #   scoring/streaming stages stay far below it
 
 
 DEFAULT_SETTINGS = HotpathSettings()
@@ -107,6 +133,9 @@ QUICK_SETTINGS = HotpathSettings(
     xlarge_nodes=2_500,
     xlarge_repeats=1,
     xlarge_shard_edges=2_000,
+    xxlarge_nodes=2_000,
+    xxlarge_repeats=1,
+    xxlarge_shard_edges=1_500,
 )
 
 
@@ -172,7 +201,9 @@ def _time_generation(
     # Per-call config snapshot (the thread-safe serving entry) instead of
     # mutating the shared model.config.
     cfg = model.generation_config(
-        latent_source="prior", generation_threads=settings.threads
+        latent_source="prior",
+        generation_threads=settings.threads,
+        repair_sampler=settings.repair_sampler,
     )
     num_nodes = graph.num_nodes * node_factor
     counter = {"seed": 0}
@@ -185,60 +216,94 @@ def _time_generation(
     return _timeit(generate, settings.repeats)
 
 
-def _time_generation_xlarge(
-    graph: Graph, settings: HotpathSettings
+def _time_generation_streaming(
+    graph: Graph,
+    settings: HotpathSettings,
+    *,
+    name: str,
+    nodes: int,
+    repeats: int,
+    dtype: str,
+    sampler: str,
+    shard_edges: int,
+    shard_format: str,
+    budget_mb: int,
 ) -> tuple[float, float, dict[str, float]]:
-    """Streaming generation at ``xlarge_nodes`` under a fixed memory budget.
+    """Streaming generation at ``nodes`` under a fixed memory budget.
 
-    Times ``generate_to_file`` into a sharded edge directory — the
-    production streaming path — with ``tracemalloc`` active for the whole
-    timed region.  The peak is checked against ``xlarge_budget_mb`` on
-    every repetition and a breach raises, so the budget is enforced both
-    when recording a baseline and under ``--check``.  tracemalloc's
-    per-allocation hook is part of the measured workload on both sides of
-    a comparison, so normalized ratios stay honest.
+    The shared timer behind ``generation_xlarge`` and
+    ``generation_xxlarge``: times ``generate_to_file`` into a sharded edge
+    directory — the production streaming path — with ``tracemalloc``
+    active for the whole timed region.  The peak is checked against
+    ``budget_mb`` on every repetition and a breach raises, so the budget
+    is enforced both when recording a baseline and under ``--check``.
+    tracemalloc's per-allocation hook is part of the measured workload on
+    both sides of a comparison, so normalized ratios stay honest.
+
+    The extras dict carries the tracemalloc peak plus the repair pass's
+    accounting summed over the repetitions (sampler name, wall-clock,
+    isolated/proposal/acceptance counts).
     """
     model = _fitted_model(graph, settings)
     cfg = model.generation_config(
         latent_source="prior",
         generation_threads=settings.threads,
-        generation_dtype=settings.xlarge_dtype,
+        generation_dtype=dtype,
+        repair_sampler=sampler,
     )
-    budget_bytes = settings.xlarge_budget_mb * 2**20
+    budget_bytes = budget_mb * 2**20
     counter = {"seed": 0}
     peaks: list[int] = []
-    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-xlarge-"))
+    repair: dict = {}
+    tmp = Path(tempfile.mkdtemp(prefix=f"repro-bench-{name}-"))
     try:
 
         def generate() -> None:
             counter["seed"] += 1
             out = tmp / f"run_{counter['seed']}"
+            stats: dict = {}
             __, peak = measure_peak_memory(
                 lambda: model.generate_to_file(
                     out,
                     seed=counter["seed"],
-                    num_nodes=settings.xlarge_nodes,
+                    num_nodes=nodes,
                     config=cfg,
-                    shard_edges=settings.xlarge_shard_edges,
+                    shard_edges=shard_edges,
+                    shard_format=shard_format,
+                    _stats=stats,
                 )
             )
             peaks.append(peak)
+            for key, value in stats.items():
+                if not isinstance(value, str):
+                    repair[key] = repair.get(key, 0) + value
             if peak > budget_bytes:
                 raise RuntimeError(
-                    f"generation_xlarge peak memory {peak / 2**20:.1f} MiB "
-                    f"exceeds the {settings.xlarge_budget_mb} MiB budget "
-                    f"(nodes={settings.xlarge_nodes}, "
-                    f"dtype={settings.xlarge_dtype})"
+                    f"{name} peak memory {peak / 2**20:.1f} MiB "
+                    f"exceeds the {budget_mb} MiB budget "
+                    f"(nodes={nodes}, dtype={dtype}, sampler={sampler})"
                 )
             shutil.rmtree(out)
 
-        mean_s, std_s = _timeit(generate, settings.xlarge_repeats)
+        mean_s, std_s = _timeit(generate, repeats)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
-    return mean_s, std_s, {
+    extras: dict[str, float] = {
         "peak_mb": max(peaks) / 2**20,
-        "budget_mb": float(settings.xlarge_budget_mb),
+        "budget_mb": float(budget_mb),
+        "repair_sampler": sampler,
     }
+    for key in (
+        "repair_s",
+        "repair_isolated",
+        "repair_drawn",
+        "repair_proposals",
+        "repair_accepted",
+        "repair_fallback",
+    ):
+        if key in repair:
+            extras[key] = repair[key]
+    return mean_s, std_s, extras
 
 
 def _time_mmd_eval(settings: HotpathSettings) -> tuple[float, float]:
@@ -272,7 +337,30 @@ def run_hotpath_bench(settings: HotpathSettings | None = None) -> dict:
         "generation_large": lambda: _time_generation(
             graph, settings, node_factor=_LARGE_NODE_FACTOR
         ),
-        "generation_xlarge": lambda: _time_generation_xlarge(graph, settings),
+        "generation_xlarge": lambda: _time_generation_streaming(
+            graph,
+            settings,
+            name="generation_xlarge",
+            nodes=settings.xlarge_nodes,
+            repeats=settings.xlarge_repeats,
+            dtype=settings.xlarge_dtype,
+            sampler=settings.xlarge_sampler,
+            shard_edges=settings.xlarge_shard_edges,
+            shard_format="edgelist",
+            budget_mb=settings.xlarge_budget_mb,
+        ),
+        "generation_xxlarge": lambda: _time_generation_streaming(
+            graph,
+            settings,
+            name="generation_xxlarge",
+            nodes=settings.xxlarge_nodes,
+            repeats=settings.xxlarge_repeats,
+            dtype=settings.xxlarge_dtype,
+            sampler=settings.xlarge_sampler,
+            shard_edges=settings.xxlarge_shard_edges,
+            shard_format="csr",
+            budget_mb=settings.xxlarge_budget_mb,
+        ),
         "mmd_eval": lambda: _time_mmd_eval(settings),
     }
     for name, timer in timers.items():

@@ -39,6 +39,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("graph", type=Path)
+    p_stats.add_argument(
+        "--streaming",
+        action="store_true",
+        help="force the one-pass degree-statistics path for a shard "
+        "directory even when it would fit in memory (shard directories "
+        "above the in-memory threshold stream automatically)",
+    )
 
     p_fit = sub.add_parser("fit", help="train CPGAN on an edge-list graph")
     p_fit.add_argument("graph", type=Path)
@@ -113,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["edgelist", "csr"],
         default="edgelist",
         help="shard payload format when --shard-edges is set",
+    )
+    p_gen.add_argument(
+        "--repair-sampler",
+        choices=["dense", "factored"],
+        default=None,
+        help="isolated-node repair partner draw (dense = bit-stable "
+        "contract v1 default; factored = rejection-sampled from a "
+        "norm-bound envelope, same distribution at a fraction of the "
+        "cost on large graphs — contract v2)",
     )
 
     p_eval = sub.add_parser("evaluate", help="compare two graphs")
@@ -219,7 +235,26 @@ def main(argv: list[str] | None = None) -> int:
     return handler(args)
 
 
+# Shard directories above this edge count stream their statistics instead
+# of materialising the full edge set (override with --streaming either way
+# below it; a 1M-node generation at ~1.3M edges is far past this).
+_STREAMING_STATS_EDGES = 2_000_000
+
+
 def _cmd_stats(args) -> int:
+    from .graphs import read_shard_meta, streaming_shard_statistics
+
+    if args.graph.is_dir():
+        meta = read_shard_meta(args.graph)
+        if args.streaming or meta["num_edges"] > _STREAMING_STATS_EDGES:
+            stats = streaming_shard_statistics(args.graph)
+            print(
+                f"ShardedGraph(nodes={stats.num_nodes}, "
+                f"edges={stats.num_edges}, "
+                f"shards={len(meta['shards'])}, format={meta['format']})"
+            )
+            print(stats.row())
+            return 0
     graph = read_edge_list(args.graph)
     print(graph)
     print(graph_statistics(graph).row())
@@ -260,6 +295,8 @@ def _cmd_generate(args) -> int:
         overrides["generation_dtype"] = args.generation_dtype
     if args.generation_threads is not None:
         overrides["generation_threads"] = args.generation_threads
+    if args.repair_sampler is not None:
+        overrides["repair_sampler"] = args.repair_sampler
     config = model.generation_config(**overrides) if overrides else None
     for i in range(args.count):
         seed = args.seed + i

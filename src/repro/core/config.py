@@ -84,6 +84,16 @@ class CPGANConfig:
     #   streaming a generated graph to disk (generate_to_file).  0 writes
     #   a single edge-list file; > 0 writes a shard directory with a JSON
     #   meta sidecar (see repro.graphs.io.write_edge_shards).
+    repair_sampler: str = "dense"  # isolated-node repair partner draw.
+    #   "dense" (reproducibility contract v1, default): materialise each
+    #   isolated node's score row and draw by inverse CDF — the float64
+    #   stream is bit-stable across releases (golden-trace guarded).
+    #   "factored" (contract v2): rejection-sample partners from a
+    #   norm-bound envelope with one dot product per proposal — the same
+    #   distribution (statistically indistinguishable graphs) at
+    #   O(isolated · E[proposals]) instead of O(isolated · n) cost,
+    #   deterministic for a fixed seed at every thread count, but with a
+    #   different RNG consumption pattern, so draws differ from "dense".
 
     seed: int = 0
 
@@ -108,6 +118,10 @@ class CPGANConfig:
             )
         if self.generation_shard_edges < 0:
             raise ValueError("generation_shard_edges must be >= 0")
+        if self.repair_sampler not in ("dense", "factored"):
+            raise ValueError(
+                "repair_sampler must be 'dense' or 'factored'"
+            )
         if not self.use_hierarchy:
             self.num_levels = 1
 

@@ -22,7 +22,13 @@ from .. import nn
 from ..nn.tensor import _stable_sigmoid
 from .config import CPGANConfig
 
-__all__ = ["GraphDecoder", "topk_pair_candidates", "topk_pair_candidates_batch"]
+__all__ = [
+    "GraphDecoder",
+    "PairScorer",
+    "pair_feature_norms",
+    "topk_pair_candidates",
+    "topk_pair_candidates_batch",
+]
 
 #: Rows per block in the chunked pairwise-scoring kernel.  Each block costs
 #: O(row_block · n) memory; 256 keeps the working set a few MB even at
@@ -46,6 +52,84 @@ _BOUND_SLACK_F32 = 1e-4
 def _bound_slack(dtype: np.dtype) -> float:
     """Pruning slack matched to the scoring precision."""
     return _BOUND_SLACK_F32 if dtype == np.float32 else _BOUND_SLACK
+
+
+def pair_feature_norms(g: np.ndarray) -> np.ndarray:
+    """Per-row Euclidean norms of the pair-feature matrix ``g``.
+
+    The Cauchy–Schwarz bound ``g_u · g_v <= ‖g_u‖ ‖g_v‖`` built on these is
+    what both the scoring kernel's block/column pruning and the factored
+    repair sampler's proposal envelope rely on; sharing the computation
+    keeps the two bound constructions arithmetically identical.
+    """
+    return np.sqrt(np.einsum("ij,ij->i", g, g))
+
+
+class PairScorer:
+    """Factored access to the pairwise edge scores ``sigmoid(g_u · g_v)``.
+
+    Wraps the decoder's pair-feature matrix ``g`` (Eq. 14's pre-dot-product
+    rows) and exposes the three access patterns downstream consumers need
+    without ever materialising the n×n score matrix:
+
+    * :meth:`rows` — dense score rows for a node subset (the historical
+      ``score_rows`` callback of the repair pass; calling the scorer like a
+      function is an alias, so it drops into any ``score_rows`` slot);
+    * :meth:`pair_scores` — one dot product per requested (src, dst) pair,
+      the O(1)-per-proposal primitive of the factored rejection sampler;
+    * :meth:`partner_envelope` — a per-node upper bound on the *sharpened*
+      score ``sigmoid(g_i · g_j)²`` against any source whose feature norm
+      is at most ``scale``, built from the cached :func:`pair_feature_norms`
+      via Cauchy–Schwarz and inflated by the scoring kernel's pruning slack
+      so domination survives float rounding.
+
+    All outputs keep ``g``'s dtype: a float32 scorer runs the repair pass
+    fully in float32, a float64 scorer reproduces the historical
+    double-precision stream bit for bit through :meth:`rows`.
+    """
+
+    def __init__(self, g: np.ndarray, norms: np.ndarray | None = None) -> None:
+        g = np.ascontiguousarray(g)
+        if g.dtype not in (np.float64, np.float32):
+            g = g.astype(np.float64)
+        self.g = g
+        self.norms = pair_feature_norms(g) if norms is None else np.asarray(norms)
+
+    def __call__(self, nodes: np.ndarray) -> np.ndarray:
+        return self.rows(nodes)
+
+    def rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Score rows ``sigmoid(g[nodes] @ g.T)`` — O(len(nodes) · n).
+
+        Diagonal entries are left as-is; the repair pass zeroes them.
+        """
+        return _stable_sigmoid(self.g[nodes] @ self.g.T, overwrite_input=True)
+
+    def pair_scores(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """``sigmoid(g_src · g_dst)`` per aligned (src, dst) pair — O(d) each."""
+        logits = np.einsum("ij,ij->i", self.g[src], self.g[dst])
+        return _stable_sigmoid(logits, overwrite_input=True)
+
+    def partner_envelope(self, scale: float) -> np.ndarray:
+        """Per-node bound ``e_j >= sigmoid(g_i · g_j)²`` for ``‖g_i‖ <= scale``.
+
+        Cauchy–Schwarz gives ``g_i · g_j <= ‖g_i‖ ‖g_j‖ <= scale · ‖g_j‖``
+        and the sigmoid is monotone, so squaring its value at the inflated
+        norm product dominates every sharpened score a source within
+        ``scale`` can assign to ``j``.  The slack term is the kernel's
+        dtype-matched pruning margin (:func:`_bound_slack`), which swamps
+        the float gap between a computed dot product and the computed norm
+        product — the same argument that makes the block skips exact.
+        Every entry is at least ``sigmoid(slack)² > 1/4``, so the envelope
+        total is always positive.
+        """
+        dtype = self.g.dtype
+        slack = _bound_slack(dtype)
+        arg = self.norms * dtype.type(scale)
+        arg *= dtype.type(1.0 + slack)
+        arg += dtype.type(slack)
+        env = _stable_sigmoid(arg, overwrite_input=True)
+        return np.square(env, out=env)
 
 #: Scored-but-empty marker: the block was scored and the logit pre-cut
 #: left no survivors (distinct from ``None`` = skipped unscored).
@@ -100,28 +184,37 @@ def _score_block_logits(
     start: int,
     stop: int,
     snapshot: float | None,
+    col0: int = 0,
 ):
     """Turn one row-block's raw logits into surviving (u, v, score) triples.
 
-    ``logits`` is the block matmul ``g[start:stop] @ g.T`` (one sample's
-    slice of the stacked matmul in the batched kernel — same bits either
-    way, since the stacked matmul issues the identical GEMM per slice).
-    Pure function of ``(logits, n, start, stop, snapshot)``: the same call
-    produces the same bits no matter which thread runs it, which is what
-    lets both kernels stay bit-identical across thread counts and batch
-    compositions.  Precision rides on ``logits.dtype``: a float32 block
-    flows through the pre-cut and the sigmoid in float32 (with the wider
-    float32 pruning slack), a float64 block reproduces the historical
-    double-precision arithmetic bit for bit.
+    ``logits`` is the block matmul ``g[start:stop] @ g[col0:...].T`` (one
+    sample's slice of the stacked matmul in the batched kernel — same bits
+    either way, since the stacked matmul issues the identical GEMM per
+    slice).  ``col0`` is the global column index of the matmul's first
+    column: the float64 path always scores the full column range
+    (``col0 == 0``, the historical bit-stable GEMM), while the
+    norm-ordered float32 path starts at ``start + 1`` and may stop early
+    at the Cauchy–Schwarz column cutoff.  Pure function of its arguments:
+    the same call produces the same bits no matter which thread runs it,
+    which is what lets both kernels stay bit-identical across thread
+    counts and batch compositions.  Precision rides on ``logits.dtype``:
+    a float32 block flows through the pre-cut and the sigmoid in float32
+    (with the wider float32 pruning slack), a float64 block reproduces
+    the historical double-precision arithmetic bit for bit.
     """
+    width = logits.shape[1]
     if snapshot is None:
-        # Row r contributes columns r+1..n-1; concatenating the row slices
-        # is one contiguous copy pass, no n-wide boolean mask and no
-        # fancy-index gather.
+        # Row r contributes columns r+1..n-1 (global); concatenating the
+        # row slices is one contiguous copy pass, no wide boolean mask and
+        # no fancy-index gather.
         s_logit = np.concatenate(
-            [logits[i, start + i + 1 :] for i in range(stop - start)]
+            [logits[i, max(start + i + 1 - col0, 0) :] for i in range(stop - start)]
         )
-        u, v = _block_pairs_all(n, start, stop)
+        if col0 == 0:
+            u, v = _block_pairs_all(n, start, stop)
+        else:
+            u, v = _block_pairs_all(col0 + width, start, stop)
         return u, v, _stable_sigmoid(s_logit, overwrite_input=True)
     # Logit-space pre-cut, applied to the raw matmul block before any
     # triangle extraction: conservative, so the fold's exact score-space
@@ -133,7 +226,9 @@ def _score_block_logits(
     flat = logits.ravel()
     idx = np.flatnonzero(flat >= _logit_cut(snapshot, _bound_slack(flat.dtype)))
     if idx.size:
-        u, v = np.divmod(idx, n)
+        u, v = np.divmod(idx, width)
+        if col0:
+            v += col0
         keep = v > u + start  # upper triangle only
         idx = idx[keep]
     if idx.size == 0:
@@ -154,10 +249,13 @@ class _SampleFold:
     batched kernel bit-identical to S separate single-sample calls.
     """
 
-    def __init__(self, g: np.ndarray, n: int, k: int, row_block: int) -> None:
-        self.g = g
+    def __init__(
+        self, g: np.ndarray, n: int, k: int, row_block: int,
+        norm_order: bool = False,
+    ) -> None:
         self.n = n
         self.k = k
+        self.norm_order = norm_order
         # Per-row feature norms for the block score bound: every score in
         # the block rows [start, stop) is sigmoid(g_u · g_v) with
         # v > start, so sigmoid(max ‖g_u‖ · max_{j > start} ‖g_j‖) bounds
@@ -166,6 +264,26 @@ class _SampleFold:
         # dot product and the computed norm product before the bound is
         # trusted to prune.
         norms = np.sqrt(np.einsum("ij,ij->i", g, g))
+        if norm_order:
+            # Norm-descending node order turns the Cauchy–Schwarz bound
+            # into a *column prefix*: in sorted space, the columns that can
+            # beat a threshold against block rows of max norm ‖g_start‖
+            # are exactly the first ones, so each block's matmul shrinks to
+            # ``g[start:stop] @ g[start+1:cstop].T`` — triangle-only
+            # columns up to the cutoff — instead of the full n-wide sweep.
+            # The top-k pair *set* is unchanged (pruned entries are
+            # provably below the carried threshold); pair indices map back
+            # through ``perm`` in :meth:`result`.  Scores are computed by
+            # narrower GEMMs than the native order issues, so this mode is
+            # reserved for float32, whose contract is determinism, not
+            # bit-stability across releases.
+            self.perm = np.argsort(np.negative(norms), kind="stable")
+            g = np.ascontiguousarray(g[self.perm])
+            norms = norms[self.perm]
+            # Ascending view for the column-cutoff searchsorted.
+            self.neg_norms = np.negative(norms)
+        self.g = g
+        self.norms = norms
         suffix_max = np.maximum.accumulate(norms[::-1])[::-1]
         slack = _bound_slack(g.dtype)
 
@@ -215,6 +333,27 @@ class _SampleFold:
         # — bound.
         self.threshold: float | None = None
 
+    def column_stop(self, start: int, snapshot: float | None) -> int:
+        """Exclusive end of the sorted-space columns block ``start`` scores.
+
+        Only meaningful in ``norm_order`` mode.  A column ``j`` may be
+        skipped when the inflated Cauchy–Schwarz bound
+        ``‖g_start‖ ‖g_j‖ (1 + slack) + slack`` falls below the logit cut
+        of the threshold snapshot — the per-column version of the
+        whole-block skip, made a prefix by the sorted norms, found with
+        one binary search.  A stale snapshot only widens the range, so the
+        cutoff is exact under any thread timing.
+        """
+        if not self.norm_order or snapshot is None:
+            return self.n
+        slack = _bound_slack(self.g.dtype)
+        cut = _logit_cut(snapshot, slack)
+        row_norm = float(self.norms[start])
+        if cut <= slack or row_norm <= 0.0:
+            return self.n
+        min_norm = (cut - slack) / (row_norm * (1.0 + slack))
+        return int(np.searchsorted(self.neg_norms, -min_norm, side="right"))
+
     def fold(
         self,
         u: np.ndarray,
@@ -246,8 +385,14 @@ class _SampleFold:
         # Canonical (u, v) output order: the fold's internal ordering
         # depends on which blocks were pruned; the sort makes the returned
         # buffers a pure function of the selected pair set.
-        order = np.lexsort((self.buf_v, self.buf_u))
-        return self.buf_u[order], self.buf_v[order], self.buf_s[order]
+        u, v, s = self.buf_u, self.buf_v, self.buf_s
+        if self.norm_order:
+            # Map sorted-space pair indices back to the caller's node ids
+            # and re-canonicalise (the permutation does not preserve <).
+            pu, pv = self.perm[u], self.perm[v]
+            u, v = np.minimum(pu, pv), np.maximum(pu, pv)
+        order = np.lexsort((v, u))
+        return u[order], v[order], s[order]
 
 
 def topk_pair_candidates_batch(
@@ -293,9 +438,16 @@ def topk_pair_candidates_batch(
     and roughly doubles GEMM throughput: the latents are cast once up
     front and every downstream step (matmul, pre-cut, sigmoid, threshold
     carry, Cauchy–Schwarz bound with the wider float32 slack) runs in
-    single precision.  Both modes are *exact for their own arithmetic*:
-    the returned buffer is the true top-k of the scores as computed in the
-    chosen precision, with the same deterministic tie-breaking.
+    single precision.  float32 additionally scores in norm-descending
+    node order, where the Cauchy–Schwarz skip becomes a per-block *column
+    prefix*: each matmul covers only the upper-triangle columns whose
+    norm product against the block can still beat the carried threshold,
+    pruning the sweep by orders of magnitude at production sizes (pair
+    indices map back to the caller's node ids on output).  Both modes are
+    *exact for their own arithmetic*: the returned buffer is the true
+    top-k of the scores as computed in the chosen precision, with
+    deterministic tie-breaking (float64 in the historical triangle order,
+    float32 in sorted-space order).
     """
     score_dtype = np.dtype(score_dtype)
     if score_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -334,8 +486,16 @@ def topk_pair_candidates_batch(
     # the historical block partition — bit-preservation of the float64
     # default is untouched.
     row_block = min(row_block, max(16, _BATCH_MATMUL_BUDGET // max(n, 1)))
+    # float32 scores through norm-descending node order: the Cauchy–Schwarz
+    # skip sharpens from whole blocks to per-block column prefixes, so each
+    # matmul covers only the columns that can still beat the carried
+    # threshold (at production sizes this prunes the sweep by orders of
+    # magnitude).  float64 keeps the native order and full-width GEMMs —
+    # its bit-stability contract pins the exact historical arithmetic.
+    norm_order = score_dtype == np.dtype(np.float32)
     samples = [
-        _SampleFold(gs[index], n, k, row_block) for index in range(num_samples)
+        _SampleFold(gs[index], n, k, row_block, norm_order=norm_order)
+        for index in range(num_samples)
     ]
     if _stats is not None:
         _stats["blocks"] = sum(len(sample.blocks) for sample in samples)
@@ -369,6 +529,28 @@ def topk_pair_candidates_batch(
                 outputs.append((index, None))  # pruned unscored
             else:
                 survivors.append((index, snapshot))
+        if norm_order:
+            # Per-sample column cutoffs make the matmul extents diverge, so
+            # norm-ordered samples score one by one: each member's GEMM is
+            # its own triangle-plus-prefix slice.  Results stay independent
+            # of batch composition by construction.
+            for index, snapshot in survivors:
+                sample = samples[index]
+                col0 = start + 1
+                cstop = sample.column_stop(start, snapshot)
+                if cstop <= col0:
+                    outputs.append((index, _NO_SURVIVORS))
+                    continue
+                logits = sample.g[start:stop] @ sample.g[col0:cstop].T
+                outputs.append(
+                    (
+                        index,
+                        _score_block_logits(
+                            logits, n, start, stop, snapshot, col0=col0
+                        ),
+                    )
+                )
+            return outputs
         # Sub-chunk the stack so one task's logits stay within the budget
         # even for huge batches; contiguous member runs score through a
         # copy-free 3-D view of the stack.

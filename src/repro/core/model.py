@@ -52,6 +52,7 @@ from ..train import (
 from .config import CPGANConfig
 from .decoder import (
     GraphDecoder,
+    PairScorer,
     topk_pair_candidates,
     topk_pair_candidates_batch,
 )
@@ -113,6 +114,24 @@ class _TrainSession:
     state: TrainState
 
 
+def _merge_generation_stats(total: dict, sample: dict | None) -> None:
+    """Accumulate one sample's assembly telemetry into a batch total.
+
+    Numeric values add; string values (e.g. ``repair_sampler``) are
+    carried as-is — identical across a batch since they come from one
+    config snapshot.  ``samples`` counts the merged generations so rates
+    stay interpretable.
+    """
+    if not sample:
+        return
+    for key, value in sample.items():
+        if isinstance(value, str):
+            total[key] = value
+        else:
+            total[key] = total.get(key, 0) + value
+    total["samples"] = total.get("samples", 0) + 1
+
+
 class CPGAN(GraphGenerator):
     """Community-preserving GAN graph generator.
 
@@ -124,6 +143,10 @@ class CPGAN(GraphGenerator):
 
     name = "CPGAN"
     uses_autograd_training = True
+    #: Generation accepts a ``_stats`` dict and fills it with repair-pass
+    #: telemetry; the serving tier checks this before passing one, so
+    #: generic :class:`GraphGenerator` baselines need no shim.
+    exposes_generation_stats = True
 
     def __init__(self, config: CPGANConfig | None = None) -> None:
         super().__init__()
@@ -450,6 +473,7 @@ class CPGAN(GraphGenerator):
         num_nodes: int | None = None,
         *,
         config: CPGANConfig | None = None,
+        _stats: dict | None = None,
     ) -> Graph:
         """Sample a new graph (§III-G).
 
@@ -486,7 +510,9 @@ class CPGAN(GraphGenerator):
             return self._generate_dense(
                 latents, n, target_edges, rng, cfg.assembly_strategy
             )
-        return self.generate_batch((seed,), num_nodes, config=cfg)[0]
+        return self.generate_batch(
+            (seed,), num_nodes, config=cfg, _stats=_stats
+        )[0]
 
     def generate_batch(
         self,
@@ -494,6 +520,7 @@ class CPGAN(GraphGenerator):
         num_nodes: int | None | list | tuple = None,
         *,
         config: CPGANConfig | None = None,
+        _stats: dict | None = None,
     ) -> list[Graph]:
         """Sample one graph per request seed through one batched sweep.
 
@@ -565,15 +592,20 @@ class CPGAN(GraphGenerator):
                 # precision as the kernel (a float64 config is a no-op
                 # view of the existing features).
                 g = np.asarray(features[index], dtype=score_dtype)
+                sample_stats = {} if _stats is not None else None
                 graphs[index] = assemble_graph_sparse(
                     n,
                     triple,
                     target_edges,
                     prepared[index][2],
                     cfg.assembly_strategy,
-                    score_rows=self._score_rows_fn(g),
+                    score_rows=PairScorer(g),
                     assume_unique=True,
+                    repair_sampler=cfg.repair_sampler,
+                    _stats=sample_stats,
                 )
+                if _stats is not None:
+                    _merge_generation_stats(_stats, sample_stats)
         return graphs
 
     # -- shared generation pipeline ------------------------------------
@@ -650,18 +682,17 @@ class CPGAN(GraphGenerator):
             score_dtype=cfg.generation_dtype,
         )
 
-    def _score_rows_fn(self, g: np.ndarray):
-        """Row-scoring callback for the categorical repair pass.
+    def _score_rows_fn(self, g: np.ndarray) -> PairScorer:
+        """Scorer for the categorical repair pass.
 
-        Computes ``sigmoid(g[nodes] @ g.T)`` for just the requested nodes —
-        O(len(nodes) · n), never the full matrix.  Diagonal entries are left
-        as-is: the repair pass zeroes them itself.
+        A :class:`~repro.core.decoder.PairScorer` over the pair features:
+        calling it computes ``sigmoid(g[nodes] @ g.T)`` for just the
+        requested nodes — O(len(nodes) · n), never the full matrix, with
+        diagonal entries left for the repair pass to zero — and its
+        factored accessors (norms / pair scores / envelope) power the
+        ``repair_sampler='factored'`` rejection sampler.
         """
-
-        def score_rows(nodes: np.ndarray) -> np.ndarray:
-            return _stable_sigmoid(g[nodes] @ g.T, overwrite_input=True)
-
-        return score_rows
+        return PairScorer(g)
 
     def generate_to_file(
         self,
@@ -673,6 +704,7 @@ class CPGAN(GraphGenerator):
         config: CPGANConfig | None = None,
         shard_edges: int | None = None,
         shard_format: str = "edgelist",
+        _stats: dict | None = None,
     ) -> int:
         """Stream a generated graph to disk (§III-H future work).
 
@@ -722,8 +754,10 @@ class CPGAN(GraphGenerator):
                 target_edges,
                 rng,
                 strategy,
-                score_rows=self._score_rows_fn(g),
+                score_rows=PairScorer(g),
                 assume_unique=True,
+                repair_sampler=cfg.repair_sampler,
+                _stats=_stats,
             )
         extra_meta = {"dtype": dtype_used, "seed": int(seed)}
         path = Path(path)

@@ -5,14 +5,18 @@ from .cores import core_numbers, core_size_profile, max_core
 from .graph import Graph
 from .io import (
     EdgeShardWriter,
+    iter_edge_shards,
     read_edge_list,
     read_edge_shards,
+    read_shard_meta,
     write_edge_list,
 )
 from .sampling import degree_proportional_sample, sample_subgraph, uniform_sample
 from .spectral import spectral_embedding
 from .stats import (
     GraphStatistics,
+    ShardStatistics,
+    streaming_shard_statistics,
     average_clustering,
     characteristic_path_length,
     clustering_coefficients,
@@ -35,12 +39,16 @@ __all__ = [
     "write_edge_list",
     "EdgeShardWriter",
     "read_edge_shards",
+    "read_shard_meta",
+    "iter_edge_shards",
     "degree_proportional_sample",
     "uniform_sample",
     "sample_subgraph",
     "spectral_embedding",
     "GraphStatistics",
     "graph_statistics",
+    "ShardStatistics",
+    "streaming_shard_statistics",
     "degree_histogram",
     "clustering_coefficients",
     "average_clustering",

@@ -31,6 +31,7 @@ matrix and therefore has no sparse form.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -40,6 +41,23 @@ from .graph import Graph
 __all__ = ["assemble_graph", "assemble_graph_sparse", "select_edges_sparse"]
 
 _SPARSE_STRATEGIES = ("categorical_topk", "topk", "threshold")
+
+#: Reproducibility-contract versions of the isolated-node repair pass.
+#: ``dense`` (contract v1) materialises each isolated node's score row and
+#: draws by inverse CDF — the bit-stable historical stream.  ``factored``
+#: (contract v2) rejection-samples partners from a norm-bound envelope
+#: without ever building a row: deterministic for a fixed seed (thread
+#: count never touches the repair RNG), but its RNG consumption pattern is
+#: necessarily different, so the two samplers produce different — equally
+#: valid — draws from the same distribution.
+REPAIR_SAMPLERS = ("dense", "factored")
+
+#: Proposal rounds before the factored sampler hands stragglers to the
+#: exact dense draw.  With the measured ~0.5 acceptance rate the active
+#: set decays geometrically, so the cap is never reached in practice; it
+#: bounds the worst case (a pathological envelope) at
+#: O(rounds · isolated · d) before the O(stragglers · n) fallback.
+_FACTORED_MAX_ROUNDS = 64
 
 #: Scratch budget (elements) for one block of repair score rows; bounds the
 #: repair pass at O(_REPAIR_SCORE_BLOCK) extra memory even when most nodes
@@ -250,9 +268,15 @@ def _draw_partners(
             targets = draws[start : start + block][valid] * totals[valid]
             src = nodes[valid]
             score_lookup = rows[valid]
-        partners = np.empty(targets.size, dtype=np.int64)
-        for i in range(targets.size):
-            partners[i] = np.searchsorted(cdf[i], targets[i], side="left")
+        # Batched inverse-CDF lookup: ``searchsorted(row, t, side="left")``
+        # on a non-decreasing row is by definition the count of entries
+        # strictly below ``t``, so one block-wide comparison reproduces the
+        # per-row lookup bit for bit (identical float comparisons — no
+        # offset arithmetic that could merge adjacent CDF values).  The
+        # boolean temporary is m×n ≤ _REPAIR_SCORE_BLOCK bytes, an eighth
+        # of the float64 scratch already held.
+        partners = np.count_nonzero(cdf < targets[:, None], axis=1)
+        partners = partners.astype(np.int64, copy=False)
         np.minimum(partners, n - 1, out=partners)
         src_parts.append(src)
         partner_parts.append(partners)
@@ -269,6 +293,87 @@ def _draw_partners(
     )
 
 
+def _draw_partners_factored(
+    isolated: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    scorer,
+    _stats: dict | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rejection-sampled partner draw from the factored score row.
+
+    Distribution-exact twin of :func:`_draw_partners` that never builds a
+    row: for each isolated source ``i`` the target is the same sharpened
+    categorical ``P(j) ∝ sigmoid(g_i · g_j)²`` (``j ≠ i``), but partners
+    are *proposed* from the envelope ``e_j = sigmoid(c‖g_j‖·(1+slack) +
+    slack)²`` with ``c = max`` source norm — a per-node upper bound on
+    every source's true entry (Cauchy–Schwarz + monotone sigmoid, see
+    :meth:`PairScorer.partner_envelope`) — and accepted with probability
+    ``w_ij² / e_j`` from a single dot product.  Standard rejection
+    sampling: an accepted proposal is an exact draw from the normalised
+    target, so graph statistics are unchanged versus the dense sampler
+    while the cost drops from O(isolated · n) to O(isolated · E[rounds]).
+
+    Self-proposals carry target weight zero and are always rejected, which
+    is exactly the dense sampler's zeroed diagonal.  Sources still
+    unmatched after :data:`_FACTORED_MAX_ROUNDS` rounds fall back to the
+    exact dense draw (a fresh inverse-CDF sample is the correct
+    conditional distribution after any number of rejections); sources
+    whose whole row is zero draw nothing there and are dropped, matching
+    dense semantics.  The proposal/acceptance stream is a pure function of
+    ``(rng state, scores)`` — thread count never enters — so generation
+    stays deterministic per seed (reproducibility contract v2).
+    """
+    norms = scorer.norms
+    scale = float(norms[isolated].max())
+    env = scorer.partner_envelope(scale)
+    # float64 CDF regardless of scoring dtype: the envelope is a proposal
+    # distribution, not a contract surface, and a 1M-entry float32 cumsum
+    # would lose mass to cancellation.
+    env_cdf = np.cumsum(env, dtype=np.float64)
+    total = float(env_cdf[-1])  # >= n/4: every entry exceeds sigmoid(0)²
+    active = np.asarray(isolated, dtype=np.int64)
+    src_parts: list[np.ndarray] = []
+    partner_parts: list[np.ndarray] = []
+    score_parts: list[np.ndarray] = []
+    proposals = 0
+    rounds = 0
+    while active.size and rounds < _FACTORED_MAX_ROUNDS:
+        rounds += 1
+        proposals += active.size
+        props = np.searchsorted(env_cdf, rng.random(active.size) * total)
+        np.minimum(props, n - 1, out=props)
+        w = scorer.pair_scores(active, props)
+        sharpened = np.square(np.asarray(w, dtype=np.float64))
+        accept = rng.random(active.size) * env[props] < sharpened
+        accept &= props != active
+        if accept.any():
+            src_parts.append(active[accept])
+            partner_parts.append(props[accept])
+            score_parts.append(np.asarray(w)[accept])
+            active = active[~accept]
+    accepted = sum(part.size for part in src_parts)
+    if _stats is not None:
+        _stats["repair_proposals"] = proposals
+        _stats["repair_accepted"] = accepted
+        _stats["repair_fallback"] = int(active.size)
+        _stats["repair_rounds"] = rounds
+    if active.size:
+        src, partners, scores = _draw_partners(active, n, rng, scorer.rows)
+        if src.size:
+            src_parts.append(src)
+            partner_parts.append(partners)
+            score_parts.append(scores)
+    if not src_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0)
+    return (
+        np.concatenate(src_parts),
+        np.concatenate(partner_parts),
+        np.concatenate(score_parts),
+    )
+
+
 def _repair_isolated(
     u: np.ndarray,
     v: np.ndarray,
@@ -277,6 +382,8 @@ def _repair_isolated(
     num_edges: int,
     rng: np.random.Generator,
     score_rows: Callable[[np.ndarray], np.ndarray],
+    repair_sampler: str = "dense",
+    _stats: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Paper §III-G step 1 as a batched repair pass.
 
@@ -293,12 +400,44 @@ def _repair_isolated(
     paper suggests, floods the graph with near-uniform noise edges whenever
     scores are imperfectly calibrated — repair-only preserves the intent,
     "no node is left out", without that failure mode.)
+
+    ``repair_sampler`` selects the partner-draw implementation: ``dense``
+    (contract v1, bit-stable inverse-CDF over materialised rows) or
+    ``factored`` (contract v2, envelope rejection sampling — needs a
+    :class:`~repro.core.decoder.PairScorer`-shaped ``score_rows`` exposing
+    ``norms`` / ``pair_scores`` / ``partner_envelope``).  Everything after
+    the draw — canonicalisation, dedup, eviction, trim — is shared.
     """
     degree = np.bincount(np.concatenate([u, v]), minlength=n)
     isolated = np.flatnonzero(degree == 0)
+    if _stats is not None:
+        _stats["repair_isolated"] = int(isolated.size)
+        _stats.setdefault("repair_proposals", 0)
+        _stats.setdefault("repair_accepted", 0)
+        _stats.setdefault("repair_fallback", 0)
     if isolated.size == 0:
         return u, v
-    src, partners, es = _draw_partners(isolated, n, rng, score_rows)
+    if repair_sampler == "factored":
+        scorer = score_rows
+        missing = [
+            attr
+            for attr in ("norms", "pair_scores", "partner_envelope", "rows")
+            if not hasattr(scorer, attr)
+        ]
+        if missing:
+            raise ValueError(
+                "repair_sampler='factored' needs a factored scorer (e.g. "
+                "repro.core.decoder.PairScorer) providing "
+                f"{', '.join(missing)}; got a plain score_rows callable"
+            )
+        src, partners, es = _draw_partners_factored(
+            isolated, n, rng, scorer, _stats
+        )
+    else:
+        rows_fn = score_rows.rows if hasattr(score_rows, "rows") else score_rows
+        src, partners, es = _draw_partners(isolated, n, rng, rows_fn)
+    if _stats is not None:
+        _stats["repair_drawn"] = int(src.size)
     if src.size == 0:
         return u, v
     eu = np.minimum(src, partners)
@@ -348,6 +487,8 @@ def select_edges_sparse(
     strategy: str = "categorical_topk",
     score_rows: Callable[[np.ndarray], np.ndarray] | None = None,
     assume_unique: bool = False,
+    repair_sampler: str = "dense",
+    _stats: dict | None = None,
 ) -> np.ndarray:
     """Select the final edge set from candidate triples; returns (m, 2).
 
@@ -355,8 +496,12 @@ def select_edges_sparse(
     :meth:`Graph.edge_array` — so callers can stream it to disk without
     building a :class:`Graph`.  ``assume_unique`` skips the duplicate-pair
     scan for producers (like the chunked top-k kernel) that already
-    guarantee distinct pairs.  See :func:`assemble_graph_sparse` for the
-    other parameter semantics.
+    guarantee distinct pairs.  ``repair_sampler`` picks the isolated-node
+    partner draw (see :func:`_repair_isolated`); ``_stats``, when a dict,
+    receives the repair telemetry (``repair_s`` wall-clock,
+    ``repair_isolated``/``repair_drawn`` node counts and the factored
+    sampler's ``repair_proposals``/``repair_accepted``/``repair_fallback``).
+    See :func:`assemble_graph_sparse` for the other parameter semantics.
     """
     rng = rng or np.random.default_rng(0)
     n = int(num_nodes)
@@ -364,6 +509,11 @@ def select_edges_sparse(
         raise ValueError(
             f"unknown sparse assembly strategy: {strategy!r} "
             f"(choose from {_SPARSE_STRATEGIES})"
+        )
+    if repair_sampler not in REPAIR_SAMPLERS:
+        raise ValueError(
+            f"unknown repair sampler: {repair_sampler!r} "
+            f"(choose from {REPAIR_SAMPLERS})"
         )
     u, v, s = (np.asarray(a) for a in candidates)
     if u.size and (u >= v).any():
@@ -383,7 +533,13 @@ def select_edges_sparse(
                 "categorical_topk needs a score_rows callback for the "
                 "isolated-node repair pass"
             )
-        su, sv = _repair_isolated(su, sv, ss, n, num_edges, rng, score_rows)
+        began = time.perf_counter()
+        su, sv = _repair_isolated(
+            su, sv, ss, n, num_edges, rng, score_rows, repair_sampler, _stats
+        )
+        if _stats is not None:
+            _stats["repair_s"] = time.perf_counter() - began
+            _stats["repair_sampler"] = repair_sampler
     edges = np.column_stack([su, sv])
     order = np.lexsort((sv, su))
     return edges[order]
@@ -397,6 +553,8 @@ def assemble_graph_sparse(
     strategy: str = "categorical_topk",
     score_rows: Callable[[np.ndarray], np.ndarray] | None = None,
     assume_unique: bool = False,
+    repair_sampler: str = "dense",
+    _stats: dict | None = None,
 ) -> Graph:
     """Build a :class:`Graph` from pruned ``(u, v, score)`` candidates.
 
@@ -420,11 +578,14 @@ def assemble_graph_sparse(
         Callback mapping a node-index array to the corresponding rows of
         the (symmetric, non-negative, zero-diagonal) score matrix; only
         needed by ``categorical_topk``'s repair pass, and only ever called
-        with the isolated nodes, so its cost is O(#isolated × n).
+        with the isolated nodes, so its cost is O(#isolated × n).  With
+        ``repair_sampler='factored'`` it must be a
+        :class:`~repro.core.decoder.PairScorer`-shaped object instead, and
+        the repair cost drops to O(#isolated · E[proposal rounds]).
     """
     edges = select_edges_sparse(
         num_nodes, candidates, num_edges, rng, strategy, score_rows,
-        assume_unique,
+        assume_unique, repair_sampler, _stats,
     )
     # select_edges_sparse guarantees canonical output (unique, u < v,
     # sorted), so the validating constructor would be pure overhead.

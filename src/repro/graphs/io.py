@@ -36,6 +36,8 @@ __all__ = [
     "read_edge_list",
     "EdgeShardWriter",
     "read_edge_shards",
+    "read_shard_meta",
+    "iter_edge_shards",
 ]
 
 #: Manifest schema version for shard directories and meta sidecars.
@@ -216,8 +218,8 @@ class EdgeShardWriter:
         return True
 
 
-def read_edge_shards(directory: str | Path) -> Graph:
-    """Read a shard directory written by :class:`EdgeShardWriter`."""
+def read_shard_meta(directory: str | Path) -> dict:
+    """Load and validate the ``meta.json`` manifest of a shard directory."""
     directory = Path(directory)
     meta_path = directory / "meta.json"
     if not meta_path.exists():
@@ -229,8 +231,22 @@ def read_edge_shards(directory: str | Path) -> Graph:
             f"{meta_path} is not an edge-shard manifest "
             f"(kind={meta.get('kind')!r})"
         )
+    return meta
+
+
+def iter_edge_shards(directory: str | Path, meta: dict | None = None):
+    """Yield one ``(m, 2)`` int64 edge array per shard, in manifest order.
+
+    The streaming counterpart of :func:`read_edge_shards`: peak memory is
+    one shard, so a million-node graph's statistics can be computed without
+    ever materialising its full edge set (see
+    :func:`repro.graphs.stats.streaming_shard_statistics`).  Pass ``meta``
+    to skip re-reading the manifest.
+    """
+    directory = Path(directory)
+    if meta is None:
+        meta = read_shard_meta(directory)
     fmt = meta.get("format", "edgelist")
-    parts: list[np.ndarray] = []
     for shard in meta["shards"]:
         shard_path = directory / shard["file"]
         if fmt == "edgelist":
@@ -245,7 +261,14 @@ def read_edge_shards(directory: str | Path) -> Graph:
             )
             part = np.column_stack([u, indices])
         if part.size:
-            parts.append(part)
+            yield part
+
+
+def read_edge_shards(directory: str | Path) -> Graph:
+    """Read a shard directory written by :class:`EdgeShardWriter`."""
+    directory = Path(directory)
+    meta = read_shard_meta(directory)
+    parts = list(iter_edge_shards(directory, meta))
     edges = (
         np.concatenate(parts) if parts else np.zeros((0, 2), dtype=np.int64)
     )

@@ -9,16 +9,23 @@ Implements from scratch the five statistics of Tables II/IV/V:
 * GINI index of the degree distribution,
 * power-law exponent (PWE) via the Clauset–Shalizi–Newman discrete MLE
   approximation.
+
+:func:`streaming_shard_statistics` computes the degree-derived subset of
+these (node/edge counts, degree histogram, GINI, PWE) over a shard
+directory one shard at a time, so a streamed million-node generation can
+be summarised without ever holding its edge set in memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
 
 from .graph import Graph
+from .io import iter_edge_shards, read_shard_meta
 
 __all__ = [
     "degree_histogram",
@@ -33,6 +40,8 @@ __all__ = [
     "largest_component_fraction",
     "GraphStatistics",
     "graph_statistics",
+    "ShardStatistics",
+    "streaming_shard_statistics",
 ]
 
 
@@ -219,6 +228,75 @@ class GraphStatistics:
             f"GINI={self.gini:.4f} PWE={self.powerlaw_exponent:.4f} "
             f"Clus={self.average_clustering:.4f}"
         )
+
+
+@dataclass(frozen=True)
+class ShardStatistics:
+    """Degree-derived statistics of a sharded edge-list directory.
+
+    The streaming subset of :class:`GraphStatistics`: everything here is a
+    function of the degree sequence, which one pass over the shards
+    accumulates in O(num_nodes) memory.  Triangle- and path-based
+    statistics (clustering, CPL) need random adjacency access and are
+    deliberately absent — load the graph with ``read_edge_shards`` when
+    those are worth the memory.
+    """
+
+    num_nodes: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    isolated_nodes: int
+    gini: float
+    powerlaw_exponent: float
+    degree_histogram: np.ndarray = field(repr=False)
+
+    def row(self) -> str:
+        """Format as a Table II style row (degree-derived columns only)."""
+        return (
+            f"n={self.num_nodes} m={self.num_edges} "
+            f"d_mean={self.mean_degree:.4f} d_max={self.max_degree} "
+            f"isolated={self.isolated_nodes} "
+            f"GINI={self.gini:.4f} PWE={self.powerlaw_exponent:.4f}"
+        )
+
+
+def streaming_shard_statistics(directory: str | Path) -> ShardStatistics:
+    """One streaming pass of degree statistics over a shard directory.
+
+    Accumulates per-node degrees shard by shard (peak memory: one shard
+    plus the int64 degree vector — 8 MB per million nodes), then derives
+    the histogram, GINI and power-law exponent from the completed degree
+    sequence.  Works on both ``edgelist`` and ``csr`` shard formats and
+    validates the manifest edge count against what the shards actually
+    hold.
+    """
+    directory = Path(directory)
+    meta = read_shard_meta(directory)
+    num_nodes = int(meta["num_nodes"])
+    degrees = np.zeros(num_nodes, dtype=np.int64)
+    num_edges = 0
+    for edges in iter_edge_shards(directory, meta):
+        degrees += np.bincount(edges.ravel(), minlength=num_nodes)
+        num_edges += edges.shape[0]
+    if num_edges != meta["num_edges"]:
+        raise ValueError(
+            f"shard directory {directory} holds {num_edges} edges, "
+            f"manifest declares {meta['num_edges']}"
+        )
+    max_degree = int(degrees.max()) if num_nodes else 0
+    histogram = np.bincount(degrees, minlength=max_degree + 1).astype(float)
+    total = histogram.sum()
+    return ShardStatistics(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        mean_degree=2.0 * num_edges / num_nodes if num_nodes else 0.0,
+        max_degree=max_degree,
+        isolated_nodes=int(np.count_nonzero(degrees == 0)),
+        gini=gini_index(degrees),
+        powerlaw_exponent=powerlaw_exponent(degrees),
+        degree_histogram=histogram / total if total else histogram,
+    )
 
 
 def graph_statistics(

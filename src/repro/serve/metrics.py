@@ -19,7 +19,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["BatchSizeHistogram", "Counters", "LatencyWindow"]
+__all__ = ["BatchSizeHistogram", "Counters", "LatencyWindow", "RepairStats"]
 
 
 class BatchSizeHistogram:
@@ -58,6 +58,62 @@ class BatchSizeHistogram:
                 str(size): sizes[size] for size in sorted(sizes)
             },
         }
+
+
+class RepairStats:
+    """Accumulator for isolated-node repair accounting across requests.
+
+    Workers feed it the per-generation ``_stats`` dict that
+    ``CPGAN.generate``/``generate_batch`` fill (repair wall-clock, isolated
+    counts, rejection-sampler proposal/acceptance totals).  The snapshot
+    splits totals per sampler so a mixed dense/factored workload stays
+    legible, and derives the factored acceptance rate from the raw counts.
+    """
+
+    _NUMERIC = (
+        "samples",
+        "repair_s",
+        "repair_isolated",
+        "repair_drawn",
+        "repair_proposals",
+        "repair_accepted",
+        "repair_fallback",
+        "repair_rounds",
+    )
+
+    def __init__(self) -> None:
+        self._by_sampler: dict[str, dict[str, float]] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, stats: Mapping[str, object] | None) -> None:
+        """Fold one generation's ``_stats`` dict into the totals."""
+        if not stats:
+            return
+        sampler = str(stats.get("repair_sampler", "unknown"))
+        with self._lock:
+            bucket = self._by_sampler.setdefault(
+                sampler, {name: 0 for name in self._NUMERIC}
+            )
+            for name in self._NUMERIC:
+                value = stats.get(name)
+                if value is not None:
+                    bucket[name] += value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            by_sampler = {
+                sampler: dict(bucket)
+                for sampler, bucket in self._by_sampler.items()
+            }
+        for bucket in by_sampler.values():
+            proposals = bucket.get("repair_proposals", 0)
+            bucket["acceptance_rate"] = (
+                bucket.get("repair_accepted", 0) / proposals
+                if proposals
+                else 0.0
+            )
+            bucket["repair_s"] = float(bucket["repair_s"])
+        return {"by_sampler": by_sampler}
 
 
 class LatencyWindow:

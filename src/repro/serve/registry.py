@@ -48,6 +48,7 @@ class _Entry:
             "levels": self.meta.get("num_levels"),
             "generation_mode": config.get("generation_mode"),
             "generation_dtype": config.get("generation_dtype"),
+            "repair_sampler": config.get("repair_sampler"),
             "latent_source": config.get("latent_source"),
             "assembly_strategy": config.get("assembly_strategy"),
             "provenance": self.meta.get("provenance"),

@@ -54,7 +54,7 @@ from typing import Mapping
 
 from ..graphs import Graph
 from .cache import SampleCache, cache_key
-from .metrics import BatchSizeHistogram, Counters, LatencyWindow
+from .metrics import BatchSizeHistogram, Counters, LatencyWindow, RepairStats
 from .registry import ModelRegistry
 
 __all__ = [
@@ -88,7 +88,9 @@ def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
 #: CPGANConfig shapes *training* and cannot change at serving time.
 #: ``generation_dtype`` is part of the cache/coalesce key: float32 and
 #: float64 requests produce (deterministically) different graphs, so they
-#: never share a cache entry or a micro-batch.
+#: never share a cache entry or a micro-batch.  ``repair_sampler`` likewise:
+#: dense (contract v1) and factored (contract v2) draws consume the request
+#: RNG differently, so the two samplers never share a cache entry or batch.
 ALLOWED_PARAMS = frozenset(
     {
         "latent_source",
@@ -97,6 +99,7 @@ ALLOWED_PARAMS = frozenset(
         "generation_mode",
         "candidate_factor",
         "generation_dtype",
+        "repair_sampler",
     }
 )
 
@@ -227,6 +230,7 @@ class GenerationService:
         self._threads: list[threading.Thread] = []
         self._latency = LatencyWindow(latency_window)
         self._batches = BatchSizeHistogram()
+        self._repair = RepairStats()
         self._counters = Counters(
             ("submitted", "completed", "failed", "rejected", "cache_hits")
         )
@@ -386,8 +390,19 @@ class GenerationService:
                 seeds = list(
                     dict.fromkeys(p.request.seed for p in batch)
                 )
+                # Only models advertising ``exposes_generation_stats`` take
+                # the ``_stats`` kwarg; plain generators are called as-is.
+                exposes = getattr(model, "exposes_generation_stats", False)
+                stats: dict | None = {} if exposes else None
                 generate_batch = getattr(model, "generate_batch", None)
-                if generate_batch is not None:
+                if generate_batch is not None and exposes:
+                    graphs = generate_batch(
+                        seeds,
+                        num_nodes=request.num_nodes,
+                        config=config,
+                        _stats=stats,
+                    )
+                elif generate_batch is not None:
                     graphs = generate_batch(
                         seeds, num_nodes=request.num_nodes, config=config
                     )
@@ -400,6 +415,7 @@ class GenerationService:
                         )
                         for seed in seeds
                     ]
+            self._repair.observe(stats)
             by_seed = dict(zip(seeds, graphs))
             now = time.perf_counter()
             for pending in batch:
@@ -433,11 +449,24 @@ class GenerationService:
                     generation_threads=self.generation_threads,
                     **dict(request.params),
                 )
-                graph = model.generate(
-                    seed=request.seed,
-                    num_nodes=request.num_nodes,
-                    config=config,
-                )
+                # Only models advertising ``exposes_generation_stats`` take
+                # the ``_stats`` kwarg; plain generators are called as-is.
+                if getattr(model, "exposes_generation_stats", False):
+                    stats: dict | None = {}
+                    graph = model.generate(
+                        seed=request.seed,
+                        num_nodes=request.num_nodes,
+                        config=config,
+                        _stats=stats,
+                    )
+                else:
+                    stats = None
+                    graph = model.generate(
+                        seed=request.seed,
+                        num_nodes=request.num_nodes,
+                        config=config,
+                    )
+            self._repair.observe(stats)
             self.cache.put(request.key(), graph)
             now = time.perf_counter()
             result = GenerationResult(
@@ -480,6 +509,7 @@ class GenerationService:
                 "max_batch_size": self.max_batch_size,
                 **self._batches.snapshot(),
             },
+            "repair": self._repair.snapshot(),
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
         }

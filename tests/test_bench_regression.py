@@ -25,6 +25,7 @@ HOT_PATHS = {
     "generation",
     "generation_large",
     "generation_xlarge",
+    "generation_xxlarge",
     "mmd_eval",
 }
 
@@ -44,6 +45,13 @@ def test_quick_run_structure(quick_run):
         assert entry["std_s"] >= 0
     xlarge = quick_run["hot_paths"]["generation_xlarge"]
     assert 0 < xlarge["peak_mb"] <= xlarge["budget_mb"]
+    # The streaming cells carry the repair pass's accounting.
+    for name in ("generation_xlarge", "generation_xxlarge"):
+        entry = quick_run["hot_paths"][name]
+        assert entry["repair_sampler"] == "factored"
+        assert entry["repair_s"] >= 0
+        assert entry["repair_isolated"] >= entry["repair_drawn"] >= 0
+        assert entry["repair_accepted"] <= entry["repair_proposals"]
 
 
 def test_roundtrip_baseline_passes(quick_run, tmp_path):

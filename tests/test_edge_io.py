@@ -8,8 +8,14 @@ import pytest
 from repro.graphs import (
     EdgeShardWriter,
     Graph,
+    gini_index,
+    graph_statistics,
+    iter_edge_shards,
+    powerlaw_exponent,
     read_edge_list,
     read_edge_shards,
+    read_shard_meta,
+    streaming_shard_statistics,
     write_edge_list,
 )
 
@@ -149,3 +155,55 @@ class TestEdgeShards:
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(ValueError, match="manifest declares"):
             read_edge_shards(out)
+
+
+class TestStreamingShardStats:
+    """One-pass degree statistics over shard directories (repro stats)."""
+
+    def _sharded(self, tmp_path, fmt, num_nodes=60, seed=3, shard=12):
+        graph = _graph_with_tail(num_nodes=num_nodes, seed=seed)
+        out = tmp_path / f"shards_{fmt}"
+        with EdgeShardWriter(out, graph.num_nodes, shard, fmt=fmt) as writer:
+            edges = graph.edge_array()
+            for start in range(0, edges.shape[0], 9):
+                writer.write(edges[start : start + 9])
+        return graph, out
+
+    @pytest.mark.parametrize("fmt", ["edgelist", "csr"])
+    def test_matches_in_memory_statistics(self, tmp_path, fmt):
+        graph, out = self._sharded(tmp_path, fmt)
+        stats = streaming_shard_statistics(out)
+        full = graph_statistics(graph)
+        assert stats.num_nodes == graph.num_nodes
+        assert stats.num_edges == graph.num_edges
+        assert stats.mean_degree == pytest.approx(full.mean_degree)
+        assert stats.gini == pytest.approx(gini_index(graph.degrees))
+        assert stats.powerlaw_exponent == pytest.approx(
+            powerlaw_exponent(graph.degrees)
+        )
+        assert stats.max_degree == int(graph.degrees.max())
+        assert stats.isolated_nodes == int((graph.degrees == 0).sum())
+        expected = np.bincount(graph.degrees) / graph.num_nodes
+        assert np.allclose(stats.degree_histogram, expected)
+        assert f"n={graph.num_nodes}" in stats.row()
+
+    def test_iter_edge_shards_streams_manifest_order(self, tmp_path):
+        graph, out = self._sharded(tmp_path, "csr")
+        meta = read_shard_meta(out)
+        parts = list(iter_edge_shards(out, meta))
+        assert len(parts) == len(
+            [s for s in meta["shards"] if s["num_edges"]]
+        )
+        assert np.array_equal(np.concatenate(parts), graph.edge_array())
+
+    def test_manifest_edge_count_mismatch_rejected(self, tmp_path):
+        __, out = self._sharded(tmp_path, "edgelist")
+        meta = json.loads((out / "meta.json").read_text())
+        meta["num_edges"] += 1
+        (out / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="manifest declares"):
+            streaming_shard_statistics(out)
+
+    def test_rejects_non_shard_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="meta.json"):
+            streaming_shard_statistics(tmp_path)

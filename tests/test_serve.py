@@ -255,6 +255,56 @@ class TestGenerationService:
         with pytest.raises(ValueError, match="generation_threads"):
             GenerationService(registry, generation_threads=0)
 
+    def test_repair_sampler_is_a_cache_and_coalesce_axis(self):
+        """Dense (contract v1) and factored (contract v2) requests must
+        never share a cache entry or ride in one micro-batch."""
+        dense = GenerationRequest(
+            "toy", seed=1, params={"repair_sampler": "dense"}
+        )
+        factored = GenerationRequest(
+            "toy", seed=1, params={"repair_sampler": "factored"}
+        )
+        assert dense.key() != factored.key()
+        assert dense.coalesce_key() != factored.coalesce_key()
+
+    def test_repair_sampler_param_accepted_and_applied(self, registry, fitted):
+        model, __ = fitted
+        request = GenerationRequest(
+            "toy", seed=5, params={"repair_sampler": "factored"}
+        )
+        with GenerationService(registry, workers=1) as service:
+            result = service.generate(request)
+            metrics = service.metrics()
+        cfg = model.generation_config(repair_sampler="factored")
+        assert result.graph == model.generate(seed=5, config=cfg)
+        repair = metrics["repair"]["by_sampler"]
+        assert repair["factored"]["samples"] >= 1
+        assert repair["factored"]["repair_s"] >= 0.0
+        assert (
+            repair["factored"]["repair_accepted"]
+            <= repair["factored"]["repair_proposals"]
+        )
+
+    def test_repair_metrics_accumulate_across_batch(self, registry):
+        """Coalesced batches feed the repair accumulator too."""
+        service = GenerationService(registry, workers=1, max_batch_size=4)
+        requests = [
+            GenerationRequest(
+                "toy", seed=s, params={"repair_sampler": "factored"}
+            )
+            for s in range(3)
+        ]
+        # Enqueue before starting so one worker drains them as one batch.
+        pending = [service.submit(r) for r in requests]
+        service.start()
+        for p in pending:
+            p.result(60.0)
+        service.stop()
+        snapshot = service.metrics()["repair"]["by_sampler"]["factored"]
+        assert snapshot["samples"] == 3
+        batching = service.metrics()["batching"]
+        assert batching["coalesced_requests"] >= 2
+
     def test_metrics_uptime_and_start_time(self, registry):
         import time
 
