@@ -66,6 +66,11 @@ def _settings_from_args(args: argparse.Namespace) -> HotpathSettings:
         ),
         xlarge_shard_edges=base.xlarge_shard_edges,
         xlarge_budget_mb=base.xlarge_budget_mb,
+        hier_workers=(
+            args.hier_workers
+            if args.hier_workers is not None
+            else base.hier_workers
+        ),
         xxlarge_nodes=(
             args.xxlarge_nodes
             if args.xxlarge_nodes is not None
@@ -123,6 +128,14 @@ def main(argv: list[str] | None = None) -> int:
         help="repair sampler for the streaming generation_xlarge/"
         "generation_xxlarge cells (default factored — the scaling "
         "configuration)",
+    )
+    parser.add_argument(
+        "--hier-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the generation_hier cell's per-community "
+        "tasks (output is bit-identical at any value; wall-clock axis)",
     )
     parser.add_argument(
         "--xxlarge-nodes",

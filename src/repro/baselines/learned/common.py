@@ -14,6 +14,7 @@ over the shared :class:`repro.train.Trainer` — one epoch-loop implementation
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -25,21 +26,129 @@ __all__ = [
     "GCNEncoder",
     "balanced_bce_weight",
     "dense_square_bytes",
+    "baseline_parameters",
+    "baseline_checkpoint_fn",
+    "load_baseline_weights",
     "run_training",
 ]
+
+
+def baseline_parameters(model) -> list[nn.Parameter]:
+    """All trainable parameters of a baseline, in deterministic order.
+
+    Baselines are plain objects (not :class:`~repro.nn.Module`) holding a
+    mix of :class:`~repro.nn.Parameter` attributes and nested modules, so
+    this walks ``vars(model)`` with the same attribute-name ordering and
+    dedup rules :meth:`Module.parameters` uses — the order is a function of
+    the model's structure alone and therefore stable across processes.
+    """
+    params: list[nn.Parameter] = []
+    seen: set[int] = set()
+
+    def visit(value) -> None:
+        if isinstance(value, nn.Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, nn.Module):
+            for p in value.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                visit(item)
+
+    for name in sorted(vars(model)):
+        visit(getattr(model, name))
+    return params
+
+
+def baseline_checkpoint_fn(model) -> Callable[[Path, TrainState], None]:
+    """A ``(path, state) -> None`` weight saver for the stock ``Checkpoint``.
+
+    The archive records the model's trainable weights (positionally, in
+    :func:`baseline_parameters` order), the completed-epoch count, and the
+    loss trace — enough to restore the weights with
+    :func:`load_baseline_weights` and continue training epochs.
+
+    Known gap (follow-up): optimizer moments and the training RNG stream
+    are *not* captured, so a continued run re-warms Adam and draws fresh
+    noise — it is a warm restart of the weights, not a bit-exact resume
+    like ``CPGAN.fit(resume_from=...)``.
+    """
+
+    def save(path: Path, state: TrainState) -> None:
+        arrays = {
+            f"param_{i:05d}": p.data
+            for i, p in enumerate(baseline_parameters(model))
+        }
+        np.savez(
+            Path(path),
+            kind=np.str_("baseline_checkpoint"),
+            model=np.str_(type(model).__name__),
+            epoch=np.int64(state.epoch),
+            loss_trace=np.asarray(state.trace("loss"), dtype=np.float64),
+            **arrays,
+        )
+
+    return save
+
+
+def load_baseline_weights(model, path: str | Path) -> int:
+    """Restore weights saved by :func:`baseline_checkpoint_fn` in place.
+
+    The model must already be built (i.e. ``fit`` ran at least to layer
+    construction, or the checkpointed run's constructor arguments were
+    replayed) so the parameter walk yields the same shapes in the same
+    order.  Returns the completed-epoch count stored in the checkpoint.
+    """
+    with np.load(Path(path)) as data:
+        if str(data["kind"]) != "baseline_checkpoint":
+            raise ValueError(f"{path} is not a baseline checkpoint")
+        if str(data["model"]) != type(model).__name__:
+            raise ValueError(
+                f"{path} holds {data['model']} weights, not "
+                f"{type(model).__name__}"
+            )
+        params = baseline_parameters(model)
+        keys = sorted(k for k in data.files if k.startswith("param_"))
+        if len(keys) != len(params):
+            raise ValueError(
+                f"{path} holds {len(keys)} parameter arrays, model has "
+                f"{len(params)}"
+            )
+        for key, param in zip(keys, params):
+            array = data[key]
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"{path}:{key} shape {array.shape} does not match "
+                    f"parameter shape {param.data.shape}"
+                )
+            param.data[...] = array
+        return int(data["epoch"])
 
 
 def run_training(
     epoch_fn: Callable[[TrainState], "Mapping[str, float] | None"],
     epochs: int,
     callbacks: Iterable[Callback] = (),
+    model=None,
 ) -> TrainState:
     """Drive a baseline's epoch body through the shared Trainer.
 
     Returns the final :class:`TrainState`; the per-epoch traces in
     ``state.history`` are what the models expose as their ``losses`` lists.
+
+    Passing ``model`` arms the trainer's ``checkpoint_fn`` with a generic
+    weight saver (:func:`baseline_checkpoint_fn`), so a stock
+    :class:`~repro.train.Checkpoint` callback works against any baseline
+    without a per-model ``save=`` closure.
     """
-    return Trainer(max_epochs=epochs, callbacks=callbacks).fit(epoch_fn)
+    checkpoint_fn = baseline_checkpoint_fn(model) if model is not None else None
+    return Trainer(
+        max_epochs=epochs, callbacks=callbacks, checkpoint_fn=checkpoint_fn
+    ).fit(epoch_fn)
 
 
 class GCNEncoder(nn.Module):

@@ -105,7 +105,7 @@ class CondGenR(GraphGenerator):
             opt.step()
             return {"loss": float(loss.data)}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         with nn.no_grad():
             h = self.encoder(adj_norm, features)

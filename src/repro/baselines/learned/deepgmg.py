@@ -145,7 +145,7 @@ class DeepGMG(GraphGenerator):
                     partial[j, v] = 1.0
             return {"loss": float(np.mean(epoch_losses))}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self

@@ -173,7 +173,7 @@ class GRANLite(GraphGenerator):
                 state.step({"loss": epoch_losses[-1]})
             return {"loss": float(np.mean(epoch_losses))}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self

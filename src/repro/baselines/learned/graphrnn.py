@@ -138,7 +138,7 @@ class GraphRNNS(GraphGenerator):
                 state.step({"loss": losses[-1]})
             return {"loss": float(np.mean(losses))}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         self._mark_fitted(graph)
         return self

@@ -193,7 +193,7 @@ class NetGANAdversarial(GraphGenerator):
                 "discriminator": float(d_loss.data),
             }
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.generator_losses = state.trace("generator")
         self.discriminator_losses = state.trace("discriminator")
         self._mark_fitted(graph)

@@ -90,7 +90,7 @@ class SBMGNN(GraphGenerator):
             opt.step()
             return {"loss": float(loss.data)}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         with nn.no_grad():
             self._edge_logits(adj_norm, features)

@@ -114,7 +114,7 @@ class VGAE(GraphGenerator):
             opt.step()
             return {"loss": float(loss.data)}
 
-        state = run_training(epoch_fn, self.epochs, callbacks)
+        state = run_training(epoch_fn, self.epochs, callbacks, model=self)
         self.losses = state.trace("loss")
         with nn.no_grad():
             x = nn.concat([nn.Tensor(features), self.node_embedding], axis=1)

@@ -19,6 +19,12 @@ regression-gated quantities:
   asserted inside the timed region, so both a baseline measurement and
   ``--check`` fail loudly if streaming ever starts materialising
   super-linear intermediates;
+* ``generation_hier`` — the hierarchical pipeline at the *same* node
+  count, dtype, sampler and memory budget as ``generation_xlarge``:
+  community-parallel generation through ``repro.hier`` (plan →
+  super-graph → per-community sparse top-k → factored stitching), so the
+  committed baseline records the hierarchical-vs-flat wall-clock ratio
+  at equal scale;
 * ``generation_xxlarge`` — the million-node cell: the same streaming
   pipeline at 1M nodes into CSR shards, under its own fixed tracemalloc
   budget.  This is the regime the factored rejection sampler exists for —
@@ -108,6 +114,11 @@ class HotpathSettings:
     xlarge_shard_edges: int = 100_000  # edges per output shard
     xlarge_budget_mb: int = 512   # tracemalloc peak budget — FIXED, does not
     #   scale with xlarge_nodes; exceeding it raises inside the timed region
+    hier_workers: int = 1  # worker threads for the generation_hier cell's
+    #   per-community tasks; output is bit-identical at every value, so
+    #   like `threads` this is a pure wall-clock axis.  The cell itself
+    #   reuses the xlarge knobs (nodes/dtype/sampler/shards/budget) so the
+    #   hierarchical and flat streaming cells compare at equal node counts.
     xxlarge_nodes: int = 1_000_000  # generation_xxlarge: the million-node cell
     xxlarge_repeats: int = 1
     xxlarge_dtype: str = "float32"
@@ -228,6 +239,8 @@ def _time_generation_streaming(
     shard_edges: int,
     shard_format: str,
     budget_mb: int,
+    generation_mode: str = "sparse",
+    hier_workers: int = 1,
 ) -> tuple[float, float, dict[str, float]]:
     """Streaming generation at ``nodes`` under a fixed memory budget.
 
@@ -250,6 +263,8 @@ def _time_generation_streaming(
         generation_threads=settings.threads,
         generation_dtype=dtype,
         repair_sampler=sampler,
+        generation_mode=generation_mode,
+        hier_workers=hier_workers,
     )
     budget_bytes = budget_mb * 2**20
     counter = {"seed": 0}
@@ -300,6 +315,13 @@ def _time_generation_streaming(
         "repair_proposals",
         "repair_accepted",
         "repair_fallback",
+        "hier_communities",
+        "hier_cross_pairs",
+        "hier_intra_edges",
+        "hier_cross_edges",
+        "hier_budget_clipped",
+        "cross_proposals",
+        "cross_filled",
     ):
         if key in repair:
             extras[key] = repair[key]
@@ -348,6 +370,20 @@ def run_hotpath_bench(settings: HotpathSettings | None = None) -> dict:
             shard_edges=settings.xlarge_shard_edges,
             shard_format="edgelist",
             budget_mb=settings.xlarge_budget_mb,
+        ),
+        "generation_hier": lambda: _time_generation_streaming(
+            graph,
+            settings,
+            name="generation_hier",
+            nodes=settings.xlarge_nodes,
+            repeats=settings.xlarge_repeats,
+            dtype=settings.xlarge_dtype,
+            sampler=settings.xlarge_sampler,
+            shard_edges=settings.xlarge_shard_edges,
+            shard_format="edgelist",
+            budget_mb=settings.xlarge_budget_mb,
+            generation_mode="hierarchical",
+            hier_workers=settings.hier_workers,
         ),
         "generation_xxlarge": lambda: _time_generation_streaming(
             graph,

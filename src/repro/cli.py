@@ -130,6 +130,30 @@ def build_parser() -> argparse.ArgumentParser:
         "norm-bound envelope, same distribution at a fraction of the "
         "cost on large graphs — contract v2)",
     )
+    p_gen.add_argument(
+        "--hierarchical",
+        action="store_true",
+        help="two-level community-parallel generation (repro.hier): "
+        "community-level super-graph first, then independent "
+        "per-community sparse top-k runs plus factored cross-community "
+        "stitching — sidesteps the flat pipeline's single-graph top-k",
+    )
+    p_gen.add_argument(
+        "--hier-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the hierarchical per-community tasks "
+        "(bit-identical at every worker count; implies --hierarchical)",
+    )
+    p_gen.add_argument(
+        "--hier-level",
+        type=int,
+        default=None,
+        metavar="L",
+        help="which trained hierarchy level plans the partition "
+        "(0 = finest, clamps to the coarsest; implies --hierarchical)",
+    )
 
     p_eval = sub.add_parser("evaluate", help="compare two graphs")
     p_eval.add_argument("observed", type=Path)
@@ -202,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         "autosized from the host CPU count)",
     )
     p_serve.add_argument(
+        "--hier-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-community worker threads for hierarchical-mode requests "
+        "(results are bit-identical at any worker count; wall-clock knob)",
+    )
+    p_serve.add_argument(
         "--max-batch-size",
         type=int,
         default=8,
@@ -241,11 +273,32 @@ def main(argv: list[str] | None = None) -> int:
 _STREAMING_STATS_EDGES = 2_000_000
 
 
+def _format_provenance(meta: dict) -> str:
+    """One ``key=value`` line for recorded provenance fields, or ``""``."""
+    fields = [
+        f"{key}={meta[key]}"
+        for key in ("dtype", "seed")
+        if meta.get(key) is not None
+    ]
+    return "  provenance: " + " ".join(fields) if fields else ""
+
+
 def _cmd_stats(args) -> int:
     from .graphs import read_shard_meta, streaming_shard_statistics
 
     if args.graph.is_dir():
-        meta = read_shard_meta(args.graph)
+        # A directory without a valid manifest (empty, or never closed by
+        # EdgeShardWriter) is a user-facing condition, not a traceback.
+        try:
+            meta = read_shard_meta(args.graph)
+        except ValueError as exc:
+            print(
+                f"error: {exc} — not a shard directory written by "
+                "EdgeShardWriter (was generation interrupted before the "
+                "manifest was flushed?)",
+                file=sys.stderr,
+            )
+            return 2
         if args.streaming or meta["num_edges"] > _STREAMING_STATS_EDGES:
             stats = streaming_shard_statistics(args.graph)
             print(
@@ -253,10 +306,16 @@ def _cmd_stats(args) -> int:
                 f"edges={stats.num_edges}, "
                 f"shards={len(meta['shards'])}, format={meta['format']})"
             )
+            provenance = _format_provenance(meta)
+            if provenance:
+                print(provenance)
             print(stats.row())
             return 0
-    graph = read_edge_list(args.graph)
+    graph, meta = read_edge_list(args.graph, with_meta=True)
     print(graph)
+    provenance = _format_provenance(meta)
+    if provenance:
+        print(provenance)
     print(graph_statistics(graph).row())
     return 0
 
@@ -297,6 +356,12 @@ def _cmd_generate(args) -> int:
         overrides["generation_threads"] = args.generation_threads
     if args.repair_sampler is not None:
         overrides["repair_sampler"] = args.repair_sampler
+    if args.hierarchical or args.hier_workers is not None or args.hier_level is not None:
+        overrides["generation_mode"] = "hierarchical"
+    if args.hier_workers is not None:
+        overrides["hier_workers"] = args.hier_workers
+    if args.hier_level is not None:
+        overrides["hier_level"] = args.hier_level
     config = model.generation_config(**overrides) if overrides else None
     for i in range(args.count):
         seed = args.seed + i
@@ -384,12 +449,14 @@ def _cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         retry_after_s=args.retry_after,
         generation_threads=generation_threads,
+        hier_workers=args.hier_workers,
         max_batch_size=args.max_batch_size,
         request_timeout_s=args.request_timeout,
     )
     print(f"Serving {len(registry.names())} model(s): {', '.join(registry.names())}")
     print(
         f"  workers={workers} generation_threads={generation_threads} "
+        f"hier_workers={args.hier_workers} "
         f"max_batch_size={args.max_batch_size} "
         f"request_timeout={args.request_timeout:g}s"
     )

@@ -66,7 +66,10 @@ class CPGANConfig:
     #   pipeline (O(block·n + K) memory, the default); "dense" = the O(n²)
     #   reference decode, only allowed below the dense generation limit.
     #   "bernoulli" assembly always uses the dense path (it needs the full
-    #   random matrix).
+    #   random matrix).  "hierarchical" = two-level community-parallel
+    #   generation (repro.hier): a community-level super-graph first, then
+    #   independent per-community sparse top-k runs plus factored
+    #   cross-community stitching — O(Σ n_c·k_c) scoring instead of O(n·K).
     candidate_factor: float = 4.0  # K = candidate_factor × target_edges —
     #   the sparse pipeline's candidate-buffer headroom over the edge budget
     generation_threads: int = 1  # scoring threads for the sparse top-k
@@ -84,6 +87,14 @@ class CPGANConfig:
     #   streaming a generated graph to disk (generate_to_file).  0 writes
     #   a single edge-list file; > 0 writes a shard directory with a JSON
     #   meta sidecar (see repro.graphs.io.write_edge_shards).
+    hier_workers: int = 1  # worker threads for the hierarchical pipeline's
+    #   per-community generation tasks.  Every community (and cross-pair)
+    #   draws from its own PCG64 stream split off (seed, community_id), so
+    #   output is bit-identical at every worker count and schedule — like
+    #   generation_threads, purely a wall-clock knob.
+    hier_level: int = 0  # which level of the trained hierarchical
+    #   assignments plans the partition (0 = finest).  Levels past the
+    #   coarsest clamp to the coarsest available partition.
     repair_sampler: str = "dense"  # isolated-node repair partner draw.
     #   "dense" (reproducibility contract v1, default): materialise each
     #   isolated node's score row and draw by inverse CDF — the float64
@@ -106,8 +117,22 @@ class CPGANConfig:
             raise ValueError("latent_source must be 'posterior' or 'prior'")
         if self.pooling not in ("diffpool", "topk"):
             raise ValueError("pooling must be 'diffpool' or 'topk'")
-        if self.generation_mode not in ("sparse", "dense"):
-            raise ValueError("generation_mode must be 'sparse' or 'dense'")
+        if self.generation_mode not in ("sparse", "dense", "hierarchical"):
+            raise ValueError(
+                "generation_mode must be 'sparse', 'dense' or 'hierarchical'"
+            )
+        if (
+            self.generation_mode == "hierarchical"
+            and self.assembly_strategy == "bernoulli"
+        ):
+            raise ValueError(
+                "hierarchical generation needs a sparse assembly strategy; "
+                "'bernoulli' requires the dense random matrix"
+            )
+        if self.hier_workers < 1:
+            raise ValueError("hier_workers must be >= 1")
+        if self.hier_level < 0:
+            raise ValueError("hier_level must be >= 0")
         if self.candidate_factor < 1.0:
             raise ValueError("candidate_factor must be >= 1")
         if self.generation_threads < 1:

@@ -503,6 +503,13 @@ class CPGAN(GraphGenerator):
         not supported.
         """
         cfg = config or self.config
+        if cfg.generation_mode == "hierarchical":
+            from ..hier import generate_hierarchical
+
+            n, edges = generate_hierarchical(
+                self, seed, num_nodes, cfg, _stats=_stats
+            )
+            return Graph.from_canonical_edges(n, edges)
         if self._use_dense_generation(cfg):
             n, target_edges, rng, latents = self._prepare_generation(
                 seed, num_nodes, cfg
@@ -555,6 +562,19 @@ class CPGAN(GraphGenerator):
             sizes = [num_nodes] * len(seeds)
         if not seeds:
             return []
+        if cfg.generation_mode == "hierarchical":
+            # Hierarchical runs are already a fan-out of per-community
+            # kernel calls; batching adds nothing, so coalesced requests
+            # fall back to the (bit-identical) solo path per seed.
+            graphs = []
+            for seed, size in zip(seeds, sizes):
+                sample_stats = {} if _stats is not None else None
+                graphs.append(
+                    self.generate(seed, size, config=cfg, _stats=sample_stats)
+                )
+                if _stats is not None:
+                    _merge_generation_stats(_stats, sample_stats)
+            return graphs
         if self._use_dense_generation(cfg):
             return [
                 self.generate(seed, size, config=cfg)
@@ -610,9 +630,22 @@ class CPGAN(GraphGenerator):
 
     # -- shared generation pipeline ------------------------------------
     def _prepare_generation(
-        self, seed: int, num_nodes: int | None, cfg: CPGANConfig | None = None
-    ) -> tuple[int, int, np.random.Generator, list[np.ndarray]]:
-        """Latent sampling shared by in-memory and streamed generation."""
+        self,
+        seed: int,
+        num_nodes: int | None,
+        cfg: CPGANConfig | None = None,
+        with_rows: bool = False,
+    ):
+        """Latent sampling shared by in-memory and streamed generation.
+
+        Returns ``(n, target_edges, rng, latents)``; with ``with_rows``
+        the tuple gains a fifth element — the posterior row each generated
+        node bootstrapped its latents from (``arange(n)`` on the
+        identity-preserving path) — which the hierarchical planner maps to
+        community labels.  The RNG stream is identical either way, so the
+        hierarchical pipeline consumes the exact latents the flat pipeline
+        would.
+        """
         observed = self._require_fitted()
         cfg = cfg or self.config
         rng = rng_from_seed(seed)
@@ -632,6 +665,11 @@ class CPGAN(GraphGenerator):
                 sigmas=[s * cfg.noise_scale for s in source.sigmas],
             )
         keep_identity = n == observed.num_nodes and cfg.latent_source == "posterior"
+        if with_rows:
+            rows, latents = source.sample(
+                n, rng, keep_identity=keep_identity, with_rows=True
+            )
+            return n, target_edges, rng, latents, rows
         latents = source.sample(n, rng, keep_identity=keep_identity)
         return n, target_edges, rng, latents
 
@@ -735,16 +773,26 @@ class CPGAN(GraphGenerator):
         cfg = config or self.config
         if shard_edges is None:
             shard_edges = cfg.generation_shard_edges
-        n, target_edges, rng, latents = self._prepare_generation(
-            seed, num_nodes, cfg
-        )
         strategy = cfg.assembly_strategy
-        if self._use_dense_generation(cfg):
+        if cfg.generation_mode == "hierarchical":
+            from ..hier import generate_hierarchical
+
+            dtype_used = cfg.generation_dtype
+            n, edges = generate_hierarchical(
+                self, seed, num_nodes, cfg, _stats=_stats
+            )
+        elif self._use_dense_generation(cfg):
+            n, target_edges, rng, latents = self._prepare_generation(
+                seed, num_nodes, cfg
+            )
             dtype_used = "float64"  # the dense reference has no f32 path
             edges = self._generate_dense(
                 latents, n, target_edges, rng, strategy
             ).edge_array()
         else:
+            n, target_edges, rng, latents = self._prepare_generation(
+                seed, num_nodes, cfg
+            )
             dtype_used = cfg.generation_dtype
             g = self.decoder.edge_features_numpy(latents)
             g = np.asarray(g, dtype=np.dtype(dtype_used))

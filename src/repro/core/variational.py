@@ -46,7 +46,8 @@ class LatentDistributions:
         num_nodes: int,
         rng: np.random.Generator,
         keep_identity: bool = True,
-    ) -> list[np.ndarray]:
+        with_rows: bool = False,
+    ) -> list[np.ndarray] | tuple[np.ndarray, list[np.ndarray]]:
         """Draw (num_nodes, latent_dim) node latents per level.
 
         With ``keep_identity`` and a matching node count, node *i* samples
@@ -54,6 +55,12 @@ class LatentDistributions:
         bijective node mapping for the community metrics.  Otherwise node
         latents are bootstrapped (sampled rows with replacement), enabling
         generation at arbitrary sizes.
+
+        ``with_rows`` additionally returns the posterior row index each
+        generated node sampled from (``(rows, latents)``) — the
+        hierarchical pipeline maps these through the observed community
+        labels to place every generated node in a community.  The RNG
+        stream is identical either way.
         """
         if keep_identity and num_nodes == self.num_nodes:
             rows = np.arange(num_nodes)
@@ -72,6 +79,8 @@ class LatentDistributions:
             eps *= sigma
             eps += mu[rows]
             out.append(eps)
+        if with_rows:
+            return np.asarray(rows, dtype=np.int64), out
         return out
 
     @classmethod

@@ -264,8 +264,17 @@ def iter_edge_shards(directory: str | Path, meta: dict | None = None):
             yield part
 
 
-def read_edge_shards(directory: str | Path) -> Graph:
-    """Read a shard directory written by :class:`EdgeShardWriter`."""
+def read_edge_shards(
+    directory: str | Path, with_meta: bool = False
+) -> Graph | tuple[Graph, dict]:
+    """Read a shard directory written by :class:`EdgeShardWriter`.
+
+    With ``with_meta=True`` returns ``(graph, meta)`` where ``meta`` is
+    the full ``meta.json`` manifest — including any provenance fields the
+    writer recorded (e.g. ``dtype`` and ``seed`` from
+    ``generate_to_file``), matching what the single-file sidecar path of
+    :func:`read_edge_list` surfaces.
+    """
     directory = Path(directory)
     meta = read_shard_meta(directory)
     parts = list(iter_edge_shards(directory, meta))
@@ -279,10 +288,15 @@ def read_edge_shards(directory: str | Path) -> Graph:
         )
     # The writer only accepts canonical batches, so the trusted constructor
     # applies; Graph.from_canonical_edges validates nothing by design.
-    return Graph.from_canonical_edges(int(meta["num_nodes"]), edges)
+    graph = Graph.from_canonical_edges(int(meta["num_nodes"]), edges)
+    return (graph, meta) if with_meta else graph
 
 
-def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
+def read_edge_list(
+    path: str | Path,
+    num_nodes: int | None = None,
+    with_meta: bool = False,
+) -> Graph | tuple[Graph, dict]:
     """Read an edge list written by :func:`write_edge_list` (or SNAP-style).
 
     ``path`` may also be a shard directory written by
@@ -291,10 +305,17 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
     ``num_nodes`` argument, the ``<path>.meta.json`` sidecar, the
     ``# nodes:`` header, and finally ``max id + 1`` inference — the last
     with a warning, because it silently drops trailing isolated nodes.
+
+    With ``with_meta=True`` returns ``(graph, meta)``, where ``meta`` is
+    the recorded metadata regardless of layout — the sidecar for a single
+    file, the manifest for a shard directory — so provenance fields such
+    as ``dtype`` and ``seed`` read back identically from either.  A file
+    without a sidecar yields a minimal synthesised dict (kind/counts
+    only, no provenance).
     """
     path = Path(path)
     if path.is_dir():
-        return read_edge_shards(path)
+        return read_edge_shards(path, with_meta=with_meta)
     edges: list[tuple[int, int]] = []
     declared = None
     with path.open() as handle:
@@ -308,11 +329,14 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
                 continue
             parts = line.split()
             edges.append((int(parts[0]), int(parts[1])))
+    sidecar_meta = None
+    sidecar = _meta_sidecar_path(path)
+    if sidecar.exists():
+        with sidecar.open() as handle:
+            sidecar_meta = json.load(handle)
     if num_nodes is None:
-        sidecar = _meta_sidecar_path(path)
-        if sidecar.exists():
-            with sidecar.open() as handle:
-                num_nodes = int(json.load(handle)["num_nodes"])
+        if sidecar_meta is not None:
+            num_nodes = int(sidecar_meta["num_nodes"])
         elif declared is not None:
             num_nodes = declared
         elif edges:
@@ -325,4 +349,13 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
             )
         else:
             num_nodes = 0
-    return Graph.from_edges(num_nodes, edges)
+    graph = Graph.from_edges(num_nodes, edges)
+    if not with_meta:
+        return graph
+    if sidecar_meta is None:
+        sidecar_meta = {
+            "kind": "edge_list",
+            "num_nodes": int(graph.num_nodes),
+            "num_edges": int(graph.num_edges),
+        }
+    return graph, sidecar_meta

@@ -1,0 +1,32 @@
+"""Two-level community-parallel generation (ROADMAP: hierarchical scaling).
+
+CPGAN's encoder already learns the community structure of the fitted graph
+(:func:`repro.community.hierarchical_labels` ground truth constraining the
+DiffPool assignments).  This package exploits it at *generation* time the
+way HiGen and the multi-resolution hierarchical models do: plan a community
+partition of the output graph, sample the community-level super-graph
+(which community pairs get cross edges, and how many), generate every
+community's subgraph as an independent sparse top-k task, and stitch the
+cross-community edges with the factored rejection sampler restricted to
+community-pair blocks.
+
+Scoring cost drops from the flat pipeline's O(n·K) single-graph top-k to
+O(Σ_c n_c·k_c) over the community blocks, and the tasks are embarrassingly
+parallel.  Determinism contract: every community and cross-pair draws from
+its own PCG64 stream split off ``(root_seed, namespace, block_id)``, so the
+output is bit-identical for a fixed ``(model, seed, params)`` at every
+worker count and schedule.
+"""
+
+from .planner import HierPlan, plan_partition
+from .supergraph import sample_supergraph
+from .stitch import sample_cross_edges
+from .pipeline import generate_hierarchical
+
+__all__ = [
+    "HierPlan",
+    "plan_partition",
+    "sample_supergraph",
+    "sample_cross_edges",
+    "generate_hierarchical",
+]

@@ -1,0 +1,210 @@
+"""End-to-end hierarchical generation: plan → super-graph → tasks → union.
+
+The pipeline reuses the flat pipeline's latent stream bit-for-bit
+(:meth:`CPGAN._prepare_generation` with ``with_rows=True`` adds the
+bootstrap rows without touching the RNG sequence), maps every generated
+node to a community through the trained assignments (Louvain on the
+fitted graph when the model carries none), and then runs one independent
+sparse top-k generation per community plus one factored stitching task
+per sampled community pair.
+
+Determinism contract (mirrors the flat pipeline's): every random draw
+after the shared latent sampling comes from a PCG64 stream spawned from
+``SeedSequence((root_seed, namespace, block_id))`` — the super-graph,
+each community and each cross pair own disjoint streams, tasks never
+share an RNG, and results are folded in fixed block order.  Output is
+therefore bit-identical for a fixed ``(model, seed, params)`` at every
+``hier_workers`` count and schedule.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..community import louvain
+from ..core.decoder import PairScorer, topk_pair_candidates
+from ..graphs import select_edges_sparse
+from .planner import HierPlan, plan_partition
+from .stitch import sample_cross_edges
+from .supergraph import sample_supergraph
+
+__all__ = ["generate_hierarchical"]
+
+#: SeedSequence namespaces keeping the per-block streams disjoint.
+_NS_SUPER = 0
+_NS_INTRA = 1
+_NS_CROSS = 2
+
+
+def _derive_rng(seed: int, *key: int) -> np.random.Generator:
+    """The ``(root_seed, namespace, block_id)`` split of the contract."""
+    return np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence((int(seed),) + key))
+    )
+
+
+def _partition_labels(model, observed, cfg) -> np.ndarray:
+    """Community label per observed node, compacted to ``0..K-1``.
+
+    Prefers the trained hierarchical assignments (``cfg.hier_level``
+    levels up from the finest); models fitted without pooling levels —
+    or restored without ground truth — fall back to a fresh Louvain run
+    on the fitted graph, seeded from the training seed so the partition
+    is stable across calls.
+    """
+    levels = model._ground_truth or []
+    if levels:
+        labels = levels[min(cfg.hier_level, len(levels) - 1)]
+    else:
+        labels = louvain(observed, seed=cfg.seed).membership
+    __, compact = np.unique(np.asarray(labels, dtype=np.int64), return_inverse=True)
+    return compact.astype(np.int64)
+
+
+def _run_tasks(thunks, workers: int) -> list:
+    """Run thunks, results in submission order regardless of schedule."""
+    if workers <= 1 or len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+
+def _intra_edges(
+    g: np.ndarray,
+    members: np.ndarray,
+    budget: int,
+    cfg,
+    rng: np.random.Generator,
+    _stats: dict | None = None,
+) -> np.ndarray:
+    """One community's subgraph through the flat sparse machinery.
+
+    The community's feature rows run through the exact same chunked
+    top-k kernel and selection/repair core as a flat generation of that
+    block — scoring stays ``threads=1`` per task because parallelism
+    lives at the community level (``hier_workers``).  ``members`` is
+    sorted ascending, so mapping local ids through it preserves the
+    canonical ``u < v`` order.
+    """
+    n_c = members.size
+    sub = np.ascontiguousarray(g[members])
+    cap = n_c * (n_c - 1) // 2
+    budget = int(min(budget, cap))
+    k = min(max(int(np.ceil(cfg.candidate_factor * budget)), budget), cap)
+    triples = topk_pair_candidates(
+        sub, k, threads=1, score_dtype=cfg.generation_dtype
+    )
+    local = select_edges_sparse(
+        n_c,
+        triples,
+        budget,
+        rng,
+        cfg.assembly_strategy,
+        score_rows=PairScorer(sub),
+        assume_unique=True,
+        repair_sampler=cfg.repair_sampler,
+        _stats=_stats,
+    )
+    return members[local]
+
+
+def generate_hierarchical(
+    model,
+    seed: int,
+    num_nodes: int | None = None,
+    cfg=None,
+    _stats: dict | None = None,
+) -> tuple[int, np.ndarray]:
+    """Generate one graph hierarchically; returns ``(n, edges)``.
+
+    ``edges`` is the canonical ``(m, 2)`` array (unique, ``u < v``,
+    sorted by ``(u, v)``) — the same shape :func:`select_edges_sparse`
+    emits, so callers stream it to disk or wrap it in a
+    :class:`~repro.graphs.Graph` exactly like the flat pipeline's output.
+    """
+    cfg = cfg or model.config
+    observed = model._require_fitted()
+    n, target_edges, __, latents, rows = model._prepare_generation(
+        seed, num_nodes, cfg, with_rows=True
+    )
+    labels = _partition_labels(model, observed, cfg)
+    node_labels = labels[rows]
+    plan: HierPlan = plan_partition(observed, labels, node_labels, target_edges)
+    g = np.asarray(
+        model.decoder.edge_features_numpy(latents),
+        dtype=np.dtype(cfg.generation_dtype),
+    )
+    pairs, cross_counts = sample_supergraph(
+        plan, _derive_rng(seed, _NS_SUPER)
+    )
+
+    track = _stats is not None
+    intra_stats: list[dict | None] = []
+    cross_stats: list[dict | None] = []
+    thunks = []
+    for c in range(plan.num_communities):
+        members = plan.communities[c]
+        budget = int(plan.intra_budgets[c])
+        if members.size < 2 or budget <= 0:
+            continue
+        stats_c = {} if track else None
+        intra_stats.append(stats_c)
+        thunks.append(
+            lambda members=members, budget=budget, c=c, stats_c=stats_c: (
+                _intra_edges(
+                    g, members, budget, cfg, _derive_rng(seed, _NS_INTRA, c),
+                    _stats=stats_c,
+                )
+            )
+        )
+    num_intra_tasks = len(thunks)
+    for (a, b), count in zip(pairs.tolist(), cross_counts.tolist()):
+        stats_p = {} if track else None
+        cross_stats.append(stats_p)
+        thunks.append(
+            lambda a=a, b=b, count=count, stats_p=stats_p: sample_cross_edges(
+                g,
+                plan.communities[a],
+                plan.communities[b],
+                count,
+                _derive_rng(seed, _NS_CROSS, a, b),
+                _stats=stats_p,
+            )
+        )
+    parts = _run_tasks(thunks, cfg.hier_workers)
+
+    intra_edge_count = sum(
+        part.shape[0] for part in parts[:num_intra_tasks]
+    )
+    cross_edge_count = sum(
+        part.shape[0] for part in parts[num_intra_tasks:]
+    )
+    if parts:
+        edges = np.concatenate(parts)
+    else:
+        edges = np.zeros((0, 2), dtype=np.int64)
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    edges = edges[order]
+
+    if track:
+        _stats["hier_communities"] = int((plan.sizes > 0).sum())
+        _stats["hier_cross_pairs"] = int(pairs.shape[0])
+        _stats["hier_intra_edges"] = int(intra_edge_count)
+        _stats["hier_cross_edges"] = int(cross_edge_count)
+        _stats["hier_budget_clipped"] = int(
+            target_edges - intra_edge_count - cross_edge_count
+        )
+        # Fold the per-task telemetry without counting tasks as samples —
+        # the whole fan-out is one generation to the caller.
+        for sample in intra_stats + cross_stats:
+            if not sample:
+                continue
+            for key, value in sample.items():
+                if isinstance(value, str):
+                    _stats[key] = value
+                else:
+                    _stats[key] = _stats.get(key, 0) + value
+    return n, edges

@@ -1,0 +1,172 @@
+"""Partition planning for hierarchical generation.
+
+The planner turns (a) the observed graph's community block structure and
+(b) a community label per *generated* node into a :class:`HierPlan`: which
+global node ids belong to which community, how many edges each community
+generates internally, and how much edge mass the cross-community stitcher
+distributes over which community pairs.
+
+Budgets are proportional to the observed block edge counts, scaled to the
+generation edge target with largest-remainder rounding so the intra
+budgets plus the cross total always sum to exactly ``target_edges``
+(before capacity clipping — a community too small to host its quota keeps
+the clipped value, recorded by the pipeline's telemetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs import Graph
+
+__all__ = ["HierPlan", "plan_partition"]
+
+
+@dataclass(frozen=True)
+class HierPlan:
+    """Blueprint of one hierarchical generation run.
+
+    Attributes
+    ----------
+    num_nodes:
+        Node count of the output graph.
+    target_edges:
+        Total edge budget (intra budgets + ``cross_total`` before clipping).
+    communities:
+        Per community, the sorted global node ids assigned to it (possibly
+        empty when the latent bootstrap drew no node of that community).
+    intra_budgets:
+        Edges each community generates internally, clipped to the
+        community's pair capacity.
+    pair_index:
+        ``(P, 2)`` community-index pairs (``a < b``) that carry cross
+        edges in the observed graph and are feasible in the plan.
+    pair_weights:
+        Observed cross-edge count per pair — the super-graph stage's
+        sampling weights.
+    cross_total:
+        Cross-community edge budget the super-graph stage distributes
+        over ``pair_index``.
+    """
+
+    num_nodes: int
+    target_edges: int
+    communities: list[np.ndarray]
+    intra_budgets: np.ndarray
+    pair_index: np.ndarray
+    pair_weights: np.ndarray
+    cross_total: int
+
+    @property
+    def num_communities(self) -> int:
+        return len(self.communities)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return np.array([c.size for c in self.communities], dtype=np.int64)
+
+
+def _largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Integer quotas ∝ ``weights`` summing to exactly ``total``.
+
+    Ties in the fractional parts break toward the lower index, so the
+    split is deterministic.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    mass = weights.sum()
+    if total <= 0 or mass <= 0:
+        return np.zeros(weights.size, dtype=np.int64)
+    quotas = weights * (total / mass)
+    floors = np.floor(quotas).astype(np.int64)
+    short = total - int(floors.sum())
+    if short > 0:
+        remainders = quotas - floors
+        # argsort is stable, so equal remainders resolve by index.
+        order = np.argsort(-remainders, kind="stable")
+        floors[order[:short]] += 1
+    return floors
+
+
+def plan_partition(
+    observed: Graph,
+    labels: np.ndarray,
+    node_labels: np.ndarray,
+    target_edges: int,
+) -> HierPlan:
+    """Derive the generation plan from observed block densities.
+
+    Parameters
+    ----------
+    observed:
+        The fitted graph whose block structure calibrates the budgets.
+    labels:
+        Community label per *observed* node (compact ``0..K-1``).
+    node_labels:
+        Community label per *generated* node, in the same label space —
+        on the identity-preserving path this equals ``labels``; on the
+        bootstrap path it is ``labels[rows]`` for the latent bootstrap
+        rows, so community proportions follow the latent draw.
+    target_edges:
+        Total edge budget of the generated graph.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    node_labels = np.asarray(node_labels, dtype=np.int64)
+    if labels.size != observed.num_nodes:
+        raise ValueError(
+            f"labels cover {labels.size} nodes, observed graph has "
+            f"{observed.num_nodes}"
+        )
+    num_communities = int(labels.max()) + 1 if labels.size else 0
+    if node_labels.size and int(node_labels.max()) >= num_communities:
+        raise ValueError("node_labels reference a community outside labels")
+
+    communities = [
+        np.flatnonzero(node_labels == c) for c in range(num_communities)
+    ]
+    sizes = np.array([c.size for c in communities], dtype=np.int64)
+
+    edges = observed.edge_array()
+    cu = labels[edges[:, 0]]
+    cv = labels[edges[:, 1]]
+    intra = cu == cv
+    intra_counts = np.bincount(cu[intra], minlength=num_communities).astype(
+        np.float64
+    )
+    lo = np.minimum(cu[~intra], cv[~intra])
+    hi = np.maximum(cu[~intra], cv[~intra])
+    codes, pair_counts = np.unique(
+        lo * num_communities + hi, return_counts=True
+    )
+    pair_index = np.column_stack(
+        [codes // num_communities, codes % num_communities]
+    ).astype(np.int64)
+
+    # Blocks the generated partition cannot host carry no weight: their
+    # observed mass flows to the surviving blocks through renormalisation.
+    intra_counts[sizes < 2] = 0.0
+    pair_ok = (sizes[pair_index[:, 0]] > 0) & (sizes[pair_index[:, 1]] > 0)
+    pair_index = pair_index[pair_ok]
+    pair_counts = pair_counts[pair_ok].astype(np.float64)
+
+    cross_mass = float(pair_counts.sum())
+    weights = np.concatenate([intra_counts, [cross_mass]])
+    if weights.sum() <= 0 and (sizes >= 2).any():
+        # Degenerate observed structure (e.g. an edgeless fit): spread the
+        # budget over the communities able to hold edges.
+        weights = np.concatenate([(sizes >= 2).astype(np.float64), [0.0]])
+    split = _largest_remainder(weights, int(target_edges))
+    intra_budgets, cross_total = split[:-1], int(split[-1])
+    caps = sizes * (sizes - 1) // 2
+    intra_budgets = np.minimum(intra_budgets, caps)
+
+    return HierPlan(
+        num_nodes=int(node_labels.size),
+        target_edges=int(target_edges),
+        communities=communities,
+        intra_budgets=intra_budgets,
+        pair_index=pair_index,
+        pair_weights=pair_counts,
+        cross_total=cross_total,
+    )

@@ -1,0 +1,43 @@
+"""Super-graph sampling: the community-level quotient of the output graph.
+
+Given a :class:`~repro.hier.planner.HierPlan`, decide which community
+pairs get cross edges and how many — one multinomial draw of the plan's
+``cross_total`` over the observed cross-block weights.  Pairs that draw
+zero drop out, so the result *is* the sampled quotient graph: one
+super-node per community, one super-edge per surviving pair, with the
+drawn count as its multiplicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .planner import HierPlan
+
+__all__ = ["sample_supergraph"]
+
+
+def sample_supergraph(
+    plan: HierPlan, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``(pairs, counts)`` for the cross-community super-edges.
+
+    ``pairs`` is ``(P, 2)`` community indices (``a < b``) and ``counts``
+    the cross-edge multiplicity per pair, every entry positive and clipped
+    to the block capacity ``n_a · n_b``.  The draw consumes only ``rng``
+    and the plan, so a fixed stream reproduces the same quotient graph
+    regardless of how the downstream tasks are scheduled.
+    """
+    empty_pairs = np.zeros((0, 2), dtype=np.int64)
+    empty_counts = np.zeros(0, dtype=np.int64)
+    if plan.cross_total <= 0 or plan.pair_index.shape[0] == 0:
+        return empty_pairs, empty_counts
+    weights = plan.pair_weights
+    counts = rng.multinomial(plan.cross_total, weights / weights.sum())
+    sizes = plan.sizes
+    caps = sizes[plan.pair_index[:, 0]] * sizes[plan.pair_index[:, 1]]
+    counts = np.minimum(counts.astype(np.int64), caps)
+    keep = counts > 0
+    if not keep.any():
+        return empty_pairs, empty_counts
+    return plan.pair_index[keep], counts[keep]

@@ -49,6 +49,8 @@ class _Entry:
             "generation_mode": config.get("generation_mode"),
             "generation_dtype": config.get("generation_dtype"),
             "repair_sampler": config.get("repair_sampler"),
+            "hier_level": config.get("hier_level"),
+            "hier_workers": config.get("hier_workers"),
             "latent_source": config.get("latent_source"),
             "assembly_strategy": config.get("assembly_strategy"),
             "provenance": self.meta.get("provenance"),

@@ -91,6 +91,11 @@ def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
 #: never share a cache entry or a micro-batch.  ``repair_sampler`` likewise:
 #: dense (contract v1) and factored (contract v2) draws consume the request
 #: RNG differently, so the two samplers never share a cache entry or batch.
+#: ``hier_level`` changes which trained partition plans a hierarchical
+#: request, i.e. the output bits — so it is a request parameter and part
+#: of the cache key.  ``hier_workers`` deliberately is NOT: like
+#: ``generation_threads`` it is a pure wall-clock knob (bit-identical
+#: output at every worker count), so it stays a service-level setting.
 ALLOWED_PARAMS = frozenset(
     {
         "latent_source",
@@ -100,6 +105,7 @@ ALLOWED_PARAMS = frozenset(
         "candidate_factor",
         "generation_dtype",
         "repair_sampler",
+        "hier_level",
     }
 )
 
@@ -205,6 +211,7 @@ class GenerationService:
         retry_after_s: float = 0.5,
         latency_window: int = 4096,
         generation_threads: int = 1,
+        hier_workers: int = 1,
         max_batch_size: int = 8,
         request_timeout_s: float = 120.0,
     ) -> None:
@@ -214,6 +221,8 @@ class GenerationService:
             raise ValueError("queue_size must be >= 1")
         if generation_threads < 1:
             raise ValueError("generation_threads must be >= 1")
+        if hier_workers < 1:
+            raise ValueError("hier_workers must be >= 1")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if request_timeout_s <= 0:
@@ -223,6 +232,7 @@ class GenerationService:
         self.queue_size = queue_size
         self.retry_after_s = retry_after_s
         self.generation_threads = generation_threads
+        self.hier_workers = hier_workers
         self.max_batch_size = max_batch_size
         self.request_timeout_s = request_timeout_s
         self.cache = SampleCache(cache_entries)
@@ -385,6 +395,7 @@ class GenerationService:
             with self.registry.lease(request.model) as model:
                 config = model.generation_config(
                     generation_threads=self.generation_threads,
+                    hier_workers=self.hier_workers,
                     **dict(request.params),
                 )
                 seeds = list(
@@ -442,11 +453,13 @@ class GenerationService:
         try:
             with self.registry.lease(request.model) as model:
                 # Intra-request parallelism is a service-level deployment
-                # knob, not a request parameter: the sparse kernel is
-                # bit-identical at every thread count, so exposing it to
-                # clients would only fragment the sample-cache key space.
+                # knob, not a request parameter: the sparse kernel (and
+                # the hierarchical fan-out) is bit-identical at every
+                # thread/worker count, so exposing these to clients would
+                # only fragment the sample-cache key space.
                 config = model.generation_config(
                     generation_threads=self.generation_threads,
+                    hier_workers=self.hier_workers,
                     **dict(request.params),
                 )
                 # Only models advertising ``exposes_generation_stats`` take
@@ -504,6 +517,7 @@ class GenerationService:
                 "retry_after_s": self.retry_after_s,
                 "request_timeout_s": self.request_timeout_s,
                 "generation_threads": self.generation_threads,
+                "hier_workers": self.hier_workers,
             },
             "batching": {
                 "max_batch_size": self.max_batch_size,

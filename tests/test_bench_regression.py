@@ -25,6 +25,7 @@ HOT_PATHS = {
     "generation",
     "generation_large",
     "generation_xlarge",
+    "generation_hier",
     "generation_xxlarge",
     "mmd_eval",
 }
@@ -52,6 +53,11 @@ def test_quick_run_structure(quick_run):
         assert entry["repair_s"] >= 0
         assert entry["repair_isolated"] >= entry["repair_drawn"] >= 0
         assert entry["repair_accepted"] <= entry["repair_proposals"]
+    # The hierarchical cell carries the plan/stitch telemetry.
+    hier = quick_run["hot_paths"]["generation_hier"]
+    assert hier["hier_communities"] >= 1
+    assert hier["hier_intra_edges"] + hier["hier_cross_edges"] > 0
+    assert hier["hier_budget_clipped"] >= 0
 
 
 def test_roundtrip_baseline_passes(quick_run, tmp_path):

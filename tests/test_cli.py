@@ -24,6 +24,23 @@ class TestStats:
         assert "Graph(n=60" in out
         assert "CPL=" in out
 
+    def test_stats_prints_recorded_provenance(self, tmp_path, capsys):
+        graph, __ = community_graph(30, 3, 4.0, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path, meta={"dtype": "float32", "seed": 11})
+        assert main(["stats", str(path)]) == 0
+        assert "provenance: dtype=float32 seed=11" in capsys.readouterr().out
+
+    def test_stats_manifest_less_directory_fails_clearly(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "not_shards"
+        empty.mkdir()
+        assert main(["stats", str(empty), "--streaming"]) == 2
+        err = capsys.readouterr().err
+        assert "no meta.json" in err
+        assert "error:" in err
+
 
 class TestDatasets:
     def test_lists_all_six(self, capsys):
@@ -172,6 +189,33 @@ class TestFitGenerateEvaluate:
         b = read_edge_list(factored2).edge_array()
         assert (a == b).all()
         assert read_edge_list(dense).num_nodes == 60
+
+    def test_generate_hierarchical_flag(self, graph_file, tmp_path):
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "fit", str(graph_file), "-o", str(model_path),
+                "--epochs", "5", "--hidden-dim", "16", "--latent-dim", "8",
+            ]
+        )
+        out1 = tmp_path / "hier1.txt"
+        out2 = tmp_path / "hier2.txt"
+        assert main(
+            [
+                "generate", str(model_path), "-o", str(out1),
+                "--seed", "3", "--hierarchical",
+            ]
+        ) == 0
+        # --hier-workers implies hierarchical mode and must not change bits.
+        assert main(
+            [
+                "generate", str(model_path), "-o", str(out2),
+                "--seed", "3", "--hier-workers", "4",
+            ]
+        ) == 0
+        a = read_edge_list(out1).edge_array()
+        b = read_edge_list(out2).edge_array()
+        assert (a == b).all()
 
     def test_stats_streaming_on_shard_directory(
         self, graph_file, tmp_path, capsys

@@ -145,6 +145,43 @@ class TestHierarchicalLabels:
         with pytest.raises(ValueError):
             hierarchical_labels(planted_two_cliques(), 0)
 
+    def test_levels_nest_after_resampling(self):
+        # Resampling (linspace subset or coarsest padding) must preserve
+        # the Louvain hierarchy's nesting: every level-l community maps
+        # into exactly one level-(l+1) community, and community counts
+        # never increase with depth.
+        g, __ = planted_partition(num_comms=8, comm_size=12, seed=2)
+        for k in (2, 3, 5):
+            levels = hierarchical_labels(g, k, seed=0)
+            assert all(level.shape == (g.num_nodes,) for level in levels)
+            sizes = [np.unique(level).size for level in levels]
+            assert sizes == sorted(sizes, reverse=True)
+            for finer, coarser in zip(levels, levels[1:]):
+                for comm in np.unique(finer):
+                    assert np.unique(coarser[finer == comm]).size == 1
+
+    def test_edgeless_graph_is_all_singletons(self):
+        levels = hierarchical_labels(Graph.empty(5), 3)
+        for level in levels:
+            assert np.unique(level).size == 5
+
+    def test_disconnected_components_stay_separate(self):
+        # Merging communities joined by zero edges strictly lowers
+        # modularity, so no level may span the two components.
+        size = 8
+        g = planted_two_cliques(size=size, bridges=0)
+        left = np.arange(size)
+        right = np.arange(size, 2 * size)
+        for level in hierarchical_labels(g, 4, seed=0):
+            assert not (set(level[left].tolist()) & set(level[right].tolist()))
+
+    def test_deterministic_given_seed(self):
+        g, __ = planted_partition(seed=3)
+        for a, b in zip(
+            hierarchical_labels(g, 3, seed=7), hierarchical_labels(g, 3, seed=7)
+        ):
+            np.testing.assert_array_equal(a, b)
+
 
 class TestPartitionMetrics:
     def test_contingency_table_known(self):

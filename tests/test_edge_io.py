@@ -78,6 +78,38 @@ class TestMetaSidecar:
         assert graph.num_nodes == 11
 
 
+class TestProvenanceParity:
+    """with_meta=True surfaces dtype/seed identically for file and shards."""
+
+    def test_sidecar_and_manifest_agree(self, tmp_path):
+        graph = _graph_with_tail(num_nodes=20, seed=4)
+        provenance = {"dtype": "float32", "seed": 42}
+        file_path = tmp_path / "g.txt"
+        write_edge_list(graph, file_path, meta=provenance)
+        shard_dir = tmp_path / "shards"
+        with EdgeShardWriter(
+            shard_dir, graph.num_nodes, 8, meta=provenance
+        ) as writer:
+            writer.write(graph.edge_array())
+        g1, meta1 = read_edge_list(file_path, with_meta=True)
+        g2, meta2 = read_edge_list(shard_dir, with_meta=True)
+        assert np.array_equal(g1.edge_array(), g2.edge_array())
+        for key in ("dtype", "seed", "num_nodes", "num_edges"):
+            assert meta1[key] == meta2[key]
+
+    def test_file_without_sidecar_synthesises_minimal_meta(self, tmp_path):
+        path = tmp_path / "bare.txt"
+        path.write_text("# nodes: 4\n0 1\n")
+        graph, meta = read_edge_list(path, with_meta=True)
+        assert meta == {"kind": "edge_list", "num_nodes": 4, "num_edges": 1}
+
+    def test_default_call_still_returns_graph(self, tmp_path):
+        graph = _graph_with_tail(num_nodes=12, seed=5)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert isinstance(read_edge_list(path), Graph)
+
+
 class TestEdgeShards:
     @pytest.mark.parametrize("fmt", ["edgelist", "csr"])
     def test_roundtrip(self, tmp_path, fmt):
