@@ -44,6 +44,8 @@ def _settings_from_args(args: argparse.Namespace):
         overrides["workers"] = args.workers
     if args.max_batch_size is not None:
         overrides["max_batch_size"] = args.max_batch_size
+    if args.worker_processes is not None:
+        overrides["worker_processes"] = args.worker_processes
     return dataclasses.replace(base, **overrides)
 
 
@@ -60,6 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="micro-batch coalescing bound (1 disables coalescing)",
+    )
+    parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve from a pool of N worker processes instead of threads "
+        "(0 = thread mode, the committed-baseline default)",
     )
     parser.add_argument(
         "--output",

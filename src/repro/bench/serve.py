@@ -21,6 +21,14 @@ document records the server's batch-size histogram and coalesced-request
 fraction next to the latency percentiles (``--max-batch-size 1`` measures
 the solo path).
 
+``settings.worker_processes`` switches the served stack from the thread
+pool to the multi-process tier (``--worker-processes`` on the CLI): each
+process runs its own coalescing loop and sample cache with ``(model,
+seed)`` routed by consistent hash, which is what lets a multi-core host
+multiply throughput past the GIL.  The committed baseline is recorded in
+thread mode so single-core CI stays comparable; the process-mode quick
+gate runs the same check with ``--worker-processes 2``.
+
 Gate a working tree against the committed baseline with
 ``benchmarks/bench_serve.py --check`` (same machinery as the hot-path
 gate, pointed at the ``serve_paths`` section).
@@ -87,6 +95,7 @@ class ServeBenchSettings:
     fit_epochs: int = 2          # enough to initialise a servable model
     seed: int = 0
     max_batch_size: int = 8      # micro-batch coalescing bound (1 disables)
+    worker_processes: int = 0    # 0 = thread mode; N = process pool of N
 
 
 DEFAULT_SERVE_SETTINGS = ServeBenchSettings()
@@ -163,6 +172,7 @@ def run_serve_bench(settings: ServeBenchSettings | None = None) -> dict:
             cache_entries=settings.cache_entries,
             retry_after_s=0.05,
             max_batch_size=settings.max_batch_size,
+            worker_processes=settings.worker_processes,
         )
         server = build_server(service)
         host, port = server.server_address[:2]

@@ -192,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         "CPU count, see repro.serve.autosize_serving)",
     )
     p_serve.add_argument(
+        "--worker-processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generation worker processes; each runs warm models, its own "
+        "sample cache and its own coalescing loop, with (model, seed) "
+        "routed by consistent hash (0 = single-process thread mode; "
+        "default: autosized from the host CPU count — multi-core hosts "
+        "get one process per core, capped at 8)",
+    )
+    p_serve.add_argument(
         "--queue-size",
         type=int,
         default=32,
@@ -437,6 +448,11 @@ def _cmd_serve(args) -> int:
         return 2
     autosized = autosize_serving()
     workers = args.workers if args.workers is not None else autosized["workers"]
+    worker_processes = (
+        args.worker_processes
+        if args.worker_processes is not None
+        else autosized["worker_processes"]
+    )
     generation_threads = (
         args.generation_threads
         if args.generation_threads is not None
@@ -452,10 +468,16 @@ def _cmd_serve(args) -> int:
         hier_workers=args.hier_workers,
         max_batch_size=args.max_batch_size,
         request_timeout_s=args.request_timeout,
+        worker_processes=worker_processes,
     )
     print(f"Serving {len(registry.names())} model(s): {', '.join(registry.names())}")
+    pool = (
+        f"worker_processes={worker_processes}"
+        if worker_processes
+        else f"workers={workers}"
+    )
     print(
-        f"  workers={workers} generation_threads={generation_threads} "
+        f"  {pool} generation_threads={generation_threads} "
         f"hier_workers={args.hier_workers} "
         f"max_batch_size={args.max_batch_size} "
         f"request_timeout={args.request_timeout:g}s"

@@ -17,6 +17,7 @@ overrides never touch shared model state.
 from .cache import SampleCache, cache_key
 from .http import build_server, serve_forever
 from .metrics import BatchSizeHistogram, Counters, LatencyWindow
+from .procpool import ProcessPool, route_key
 from .registry import ModelRegistry
 from .service import (
     ALLOWED_PARAMS,
@@ -24,6 +25,7 @@ from .service import (
     GenerationResult,
     GenerationService,
     Overloaded,
+    ServiceStopping,
     autosize_serving,
 )
 
@@ -37,9 +39,12 @@ __all__ = [
     "LatencyWindow",
     "ModelRegistry",
     "Overloaded",
+    "ProcessPool",
     "SampleCache",
+    "ServiceStopping",
     "autosize_serving",
     "build_server",
     "cache_key",
+    "route_key",
     "serve_forever",
 ]

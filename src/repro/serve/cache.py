@@ -30,6 +30,22 @@ def cache_key(
     return (model, int(seed), num_nodes, items)
 
 
+def _freeze(graph: Graph) -> Graph:
+    """Make ``graph``'s backing arrays read-only, in place.
+
+    Cache hits hand every caller the *same* ``Graph`` object; a caller
+    mutating its CSR arrays would silently corrupt all later responses for
+    that key.  ``Graph`` is documented immutable, so enforcing it here
+    turns that corruption into an immediate ``ValueError`` at the mutation
+    site instead.
+    """
+    adjacency = graph.adjacency
+    for array in (adjacency.data, adjacency.indices, adjacency.indptr,
+                  graph.degrees):
+        array.flags.writeable = False
+    return graph
+
+
 class SampleCache:
     """Thread-safe LRU of generated graphs with hit/miss accounting.
 
@@ -61,6 +77,7 @@ class SampleCache:
     def put(self, key: Hashable, graph: Graph) -> None:
         if self.capacity == 0:
             return
+        _freeze(graph)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

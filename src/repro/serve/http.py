@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .registry import ModelRegistry
@@ -44,9 +45,21 @@ def build_server(
     ``server.server_address[1]``.
     """
     handler = _make_handler(service)
-    server = ThreadingHTTPServer((host, port), handler)
-    server.daemon_threads = True
-    return server
+
+    class Server(ThreadingHTTPServer):
+        daemon_threads = True
+
+        def handle_error(self, request, client_address):  # noqa: N802
+            # A client disconnect that escapes the handler (e.g. the
+            # request line was never completed) is not a server error
+            # either — count it instead of printing a traceback.
+            exc = sys.exc_info()[1]
+            if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+                service.note_dropped_response()
+                return
+            super().handle_error(request, client_address)
+
+    return Server((host, port), handler)
 
 
 def serve_forever(service: GenerationService, host: str, port: int) -> None:
@@ -72,13 +85,20 @@ def _make_handler(service: GenerationService):
         # -- plumbing --------------------------------------------------
         def _json(self, status: int, payload: dict, headers: dict | None = None) -> None:
             body = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
-                self.send_header(name, value)
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-response.  That is their
+                # prerogative, not a server error: swallow it (no handler
+                # traceback spam) and account for it in /metrics.
+                service.note_dropped_response()
+                self.close_connection = True
 
         def _read_body(self) -> dict:
             length = int(self.headers.get("Content-Length", 0))
@@ -101,6 +121,7 @@ def _make_handler(service: GenerationService):
                         "status": "ok",
                         "models": len(registry.names()),
                         "workers": service.workers,
+                        "worker_processes": service.worker_processes,
                         "queue_depth": service.queue_depth,
                     },
                 )

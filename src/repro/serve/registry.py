@@ -189,6 +189,30 @@ class ModelRegistry:
         finally:
             self.release(name)
 
+    def prefetch(self, names: list[str] | None = None) -> list[str]:
+        """Warm up to ``max_loaded`` models so requests skip the cold load.
+
+        The serving tier runs this on a background thread at start (and
+        worker processes run it at spawn), keeping archive IO off the
+        request path.  Models that fail to load are skipped — they fail
+        with full context when actually requested.
+        """
+        targets = list(names) if names is not None else list(self.names())
+        warmed = []
+        for name in targets[: self.max_loaded]:
+            try:
+                with self.lease(name):
+                    pass
+            except Exception:
+                continue
+            warmed.append(name)
+        return warmed
+
+    def archives(self) -> dict[str, Path]:
+        """``{name: archive path}`` for every registered model."""
+        with self._lock:
+            return {name: e.path for name, e in self._entries.items()}
+
     def _evict_over_budget(self) -> None:
         """Drop LRU zero-ref models until at most ``max_loaded`` are warm."""
         loaded = [e for e in self._entries.values() if e.model is not None]

@@ -40,7 +40,18 @@ concurrently — which is also what makes the sample cache sound.
 **Backpressure.**  The request queue is bounded; when it is full ``submit``
 fails *immediately* with :class:`Overloaded` carrying a ``retry_after_s``
 hint instead of blocking the caller indefinitely.  The HTTP layer maps this
-to ``503`` + ``Retry-After``.
+to ``503`` + ``Retry-After``.  Once :meth:`GenerationService.stop` begins,
+``submit`` fails with :class:`ServiceStopping` (also a 503) so a drain is
+bounded by the backlog at shutdown time.
+
+**Process mode.**  With ``worker_processes > 0`` the worker pool is a pool
+of *processes* instead of threads (see :mod:`repro.serve.procpool`): each
+worker process runs this same service with one worker thread, its own warm
+models and its own sample cache, and ``(model, seed)`` keys route to
+processes by rendezvous hash so repeats stay cache-hot.  Everything
+outside NumPy kernels — repair, assembly, cache bookkeeping, JSON — then
+escapes the GIL.  Bit-identity is unchanged: the same request returns the
+same graph no matter which process serves it.
 """
 
 from __future__ import annotations
@@ -63,18 +74,23 @@ __all__ = [
     "GenerationResult",
     "GenerationService",
     "Overloaded",
+    "ServiceStopping",
     "autosize_serving",
 ]
 
 
 def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
-    """Host-derived defaults for ``workers`` and ``generation_threads``.
+    """Host-derived defaults for the serving execution tier.
 
-    Heuristic: enough worker threads for request-level parallelism (2–8,
-    capped by the core count so a small host is not oversubscribed with
-    idle threads), and the leftover cores as intra-request scoring threads
-    for the sparse top-k kernel.  ``repro serve`` applies these whenever
-    the corresponding CLI flag is omitted; explicit flags always win.
+    Heuristic: on a multi-core host the pool is sized as one worker
+    *process* per core (capped at 8) so generation escapes the GIL, with
+    one scoring thread per process; a single-core host stays in thread
+    mode (``worker_processes == 0``) because IPC overhead buys nothing
+    there.  ``workers`` and ``generation_threads`` keep their thread-mode
+    sizing (2–8 workers, leftover cores as intra-request scoring threads)
+    for deployments that pin ``--worker-processes 0``.  ``repro serve``
+    applies these whenever the corresponding CLI flag is omitted; explicit
+    flags always win.
     """
     cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     cpus = max(int(cpus), 1)
@@ -82,6 +98,7 @@ def autosize_serving(cpu_count: int | None = None) -> dict[str, int]:
     return {
         "workers": workers,
         "generation_threads": max(1, cpus // workers),
+        "worker_processes": 0 if cpus < 2 else min(cpus, 8),
     }
 
 #: Per-request config overrides a client may send.  Everything else in
@@ -122,6 +139,24 @@ class Overloaded(RuntimeError):
     def __init__(self, retry_after_s: float) -> None:
         super().__init__(
             f"request queue is full; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ServiceStopping(Overloaded):
+    """The service is draining for shutdown and accepts no new requests.
+
+    Subclasses :class:`Overloaded` so the HTTP layer's 503 + Retry-After
+    mapping applies unchanged — to a client, a draining replica and a full
+    queue call for the same reaction (back off, try again or elsewhere).
+    The flag this signals is also what makes ``stop(drain=True)`` bounded:
+    without it, a live front end could keep feeding the queue faster than
+    the workers drain it and the shutdown join would never return.
+    """
+
+    def __init__(self, retry_after_s: float = 1.0) -> None:
+        RuntimeError.__init__(
+            self, "service is stopping; no new requests accepted"
         )
         self.retry_after_s = retry_after_s
 
@@ -173,14 +208,35 @@ class _Pending:
         self._event = threading.Event()
         self._result: GenerationResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once resolved/failed (immediately if already).
+
+        The process-pool worker loop uses this to ship results back over
+        IPC without blocking its drain loop on each pending.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _finish(self) -> None:
+        self._event.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     def resolve(self, result: GenerationResult) -> None:
         self._result = result
-        self._event.set()
+        self._finish()
 
     def fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._finish()
 
     def result(self, timeout: float | None = None) -> GenerationResult:
         if not self._event.wait(timeout):
@@ -214,6 +270,8 @@ class GenerationService:
         hier_workers: int = 1,
         max_batch_size: int = 8,
         request_timeout_s: float = 120.0,
+        worker_processes: int = 0,
+        mp_start_method: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -227,6 +285,8 @@ class GenerationService:
             raise ValueError("max_batch_size must be >= 1")
         if request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive")
+        if worker_processes < 0:
+            raise ValueError("worker_processes must be >= 0 (0 = threads)")
         self.registry = registry
         self.workers = workers
         self.queue_size = queue_size
@@ -235,14 +295,28 @@ class GenerationService:
         self.hier_workers = hier_workers
         self.max_batch_size = max_batch_size
         self.request_timeout_s = request_timeout_s
+        self.worker_processes = worker_processes
+        self.mp_start_method = mp_start_method
         self.cache = SampleCache(cache_entries)
+        self.cache_entries = cache_entries
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._threads: list[threading.Thread] = []
+        self._pool = None  # ProcessPool when worker_processes > 0
+        self._closing = threading.Event()
         self._latency = LatencyWindow(latency_window)
         self._batches = BatchSizeHistogram()
         self._repair = RepairStats()
         self._counters = Counters(
-            ("submitted", "completed", "failed", "rejected", "cache_hits")
+            (
+                "submitted",
+                "completed",
+                "failed",
+                "rejected",
+                "retried",
+                "cache_hits",
+                "dropped_responses",
+                "worker_restarts",
+            )
         )
         # Uptime is measured on the monotonic clock: a wall-clock step
         # (NTP slew, manual reset) must not make /metrics jump or go
@@ -254,20 +328,56 @@ class GenerationService:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "GenerationService":
-        if self._threads:
+        if self._threads or self._pool is not None:
             raise RuntimeError("service already started")
+        self._closing.clear()
+        if self.worker_processes:
+            from .procpool import ProcessPool
+
+            self._pool = ProcessPool(
+                self,
+                self.worker_processes,
+                start_method=self.mp_start_method,
+            )
+            self._pool.start()
+            return self
         for i in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"generate-worker-{i}", daemon=True
             )
             thread.start()
             self._threads.append(thread)
+        # Archive loads belong on this prefetch thread, not the request
+        # path: the first request for each model should find it warm
+        # rather than paying the cold load inside its own latency budget.
+        prefetch = threading.Thread(
+            target=self._prefetch_models, name="model-prefetch", daemon=True
+        )
+        prefetch.start()
         return self
 
+    def _prefetch_models(self) -> None:
+        try:
+            self.registry.prefetch()
+        except Exception:  # a broken archive fails at request time instead
+            pass
+
     def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` queued requests finish first."""
+        """Stop the workers; with ``drain`` queued requests finish first.
+
+        Stopping first flips the closing flag so :meth:`submit` rejects new
+        work with :class:`ServiceStopping` — the drain is therefore bounded
+        by the backlog at the moment ``stop`` is called, even with a live
+        HTTP front end still taking connections.
+        """
+        if self._pool is not None:
+            self._closing.set()
+            pool, self._pool = self._pool, None
+            pool.stop(drain=drain)
+            return
         if not self._threads:
             return
+        self._closing.set()
         if drain:
             self._queue.join()
         for _ in self._threads:
@@ -289,13 +399,31 @@ class GenerationService:
         """Validate and enqueue ``request``; never blocks.
 
         Raises ``KeyError`` for an unregistered model, ``ValueError`` for a
-        disallowed parameter, and :class:`Overloaded` when the queue is
-        full.  A sample-cache hit resolves the returned pending immediately
-        without touching the queue.
+        disallowed parameter, :class:`Overloaded` when the queue is full,
+        and :class:`ServiceStopping` once :meth:`stop` has begun.  A
+        sample-cache hit resolves the returned pending immediately without
+        touching the queue.
         """
         self._validate(request)
+        if self._closing.is_set():
+            self._counters.bump("rejected")
+            raise ServiceStopping(self.retry_after_s)
         self._counters.bump("submitted")
         pending = _Pending(request)
+        if self._pool is not None:
+            # Process mode: the sample cache lives in the routed worker
+            # process (that is what keeps it hot under consistent-hash
+            # routing), so every request takes the IPC path.
+            try:
+                self._pool.dispatch(pending)
+            except Overloaded:
+                self._counters.bump("rejected")
+                raise
+            return pending
+        if self.worker_processes:
+            raise RuntimeError(
+                "a process-mode service must be started before submit"
+            )
         cached = self.cache.get(request.key())
         if cached is not None:
             self._counters.bump("cache_hits")
@@ -339,6 +467,15 @@ class GenerationService:
             )
         if request.num_nodes is not None and request.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
+        # NumPy's SeedSequence rejects negative seeds with an internal
+        # message deep inside the worker; validate here so the HTTP layer
+        # returns a clean 400 before any work is queued.
+        if request.seed < 0:
+            raise ValueError("seed must be a non-negative integer")
+
+    def note_dropped_response(self) -> None:
+        """Record a response the client disconnected before receiving."""
+        self._counters.bump("dropped_responses")
 
     # ------------------------------------------------------------------
     # worker side
@@ -501,11 +638,13 @@ class GenerationService:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
+        if self._pool is not None:
+            return self._pool.depth
         return self._queue.qsize()
 
     def metrics(self) -> dict:
         """The ``GET /metrics`` document."""
-        return {
+        document = {
             "uptime_s": time.monotonic() - self._started_monotonic,
             "started_at_unix": self.started_at_unix,
             "requests": self._counters.snapshot(),
@@ -514,6 +653,7 @@ class GenerationService:
                 "depth": self.queue_depth,
                 "capacity": self.queue_size,
                 "workers": self.workers,
+                "worker_processes": self.worker_processes,
                 "retry_after_s": self.retry_after_s,
                 "request_timeout_s": self.request_timeout_s,
                 "generation_threads": self.generation_threads,
@@ -527,3 +667,9 @@ class GenerationService:
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
         }
+        if self._pool is not None:
+            # Cache/batching/repair accounting lives in the worker
+            # processes; replace the (empty) parent sections with the
+            # merged per-process view and add the pool's own section.
+            document.update(self._pool.metrics_sections())
+        return document

@@ -259,15 +259,24 @@ class TestServiceCoalescing:
 
 class TestAutosizeAndHistogram:
     def test_autosize_shapes(self):
-        assert autosize_serving(1) == {"workers": 2, "generation_threads": 1}
-        assert autosize_serving(4) == {"workers": 4, "generation_threads": 1}
-        assert autosize_serving(16) == {"workers": 8, "generation_threads": 2}
-        assert autosize_serving(64) == {"workers": 8, "generation_threads": 8}
+        assert autosize_serving(1) == {
+            "workers": 2, "generation_threads": 1, "worker_processes": 0,
+        }
+        assert autosize_serving(4) == {
+            "workers": 4, "generation_threads": 1, "worker_processes": 4,
+        }
+        assert autosize_serving(16) == {
+            "workers": 8, "generation_threads": 2, "worker_processes": 8,
+        }
+        assert autosize_serving(64) == {
+            "workers": 8, "generation_threads": 8, "worker_processes": 8,
+        }
 
     def test_autosize_uses_host_cpu_count(self):
         sized = autosize_serving()
         assert sized["workers"] >= 2
         assert sized["generation_threads"] >= 1
+        assert sized["worker_processes"] >= 0
 
     def test_histogram_accounting(self):
         hist = BatchSizeHistogram()

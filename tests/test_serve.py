@@ -16,6 +16,7 @@ from repro.serve import (
     ModelRegistry,
     Overloaded,
     SampleCache,
+    ServiceStopping,
     build_server,
     cache_key,
 )
@@ -92,6 +93,36 @@ class TestSampleCache:
         cache.put(("a",), model.generate(seed=0))
         assert len(cache) == 0
         assert cache.get(("a",)) is None
+
+    def test_mutating_a_hit_cannot_corrupt_later_hits(self, fitted):
+        """Regression: ``get`` hands every hit the same Graph object — a
+        caller mutating its CSR arrays used to silently corrupt all later
+        responses for that key.  Entries are frozen on ``put``, so the
+        mutation now fails loudly and the cached bits stay intact."""
+        model, __ = fitted
+        cache = SampleCache(capacity=4)
+        key = cache_key("toy", 0, None, {})
+        cache.put(key, model.generate(seed=0))
+        first = cache.get(key)
+        with pytest.raises(ValueError, match="read-only"):
+            first.adjacency.data[0] = 0.0
+        with pytest.raises(ValueError, match="read-only"):
+            first.adjacency.indices[0] = 59
+        with pytest.raises(ValueError, match="read-only"):
+            first.degrees[0] = 10**6
+        second = cache.get(key)
+        assert second == model.generate(seed=0)
+
+    def test_served_responses_are_frozen(self, registry):
+        """The same guarantee end to end: a response that went through the
+        service cannot be mutated into corrupting a later cache hit."""
+        with GenerationService(registry, workers=1) as service:
+            first = service.generate(GenerationRequest("toy", seed=21))
+            with pytest.raises(ValueError, match="read-only"):
+                first.graph.adjacency.data[0] = 0.0
+            second = service.generate(GenerationRequest("toy", seed=21))
+        assert second.cache_hit
+        assert second.graph == first.graph
 
 
 class TestModelRegistry:
@@ -320,6 +351,55 @@ class TestGenerationService:
         assert later["started_at_unix"] == metrics["started_at_unix"]
         assert metrics["queue"]["generation_threads"] == 1
 
+    def test_negative_seed_rejected_before_queueing(self, registry):
+        """Regression: a negative seed used to fail deep inside NumPy's
+        SeedSequence on a worker; it must be a clean ValueError at submit."""
+        service = GenerationService(registry)
+        with pytest.raises(ValueError, match="seed must be a non-negative"):
+            service.submit(GenerationRequest("toy", seed=-1))
+        assert service.metrics()["requests"]["submitted"] == 0
+
+    def test_submit_after_stop_raises(self, registry):
+        service = GenerationService(registry, workers=1).start()
+        service.generate(GenerationRequest("toy", seed=0))
+        service.stop()
+        with pytest.raises(ServiceStopping):
+            service.submit(GenerationRequest("toy", seed=1))
+        assert service.metrics()["requests"]["rejected"] == 1
+        # ServiceStopping is an Overloaded, so HTTP keeps its 503 mapping.
+        assert issubclass(ServiceStopping, Overloaded)
+
+    def test_stop_drain_is_bounded_under_live_submits(self, registry):
+        """Regression: ``stop(drain=True)`` joined the queue while submit
+        could still feed it — with a live front end the drain never
+        terminated.  The closing flag bounds it by the backlog at stop."""
+        import threading
+        import time
+
+        service = GenerationService(registry, workers=1, queue_size=32).start()
+        backlog = [
+            service.submit(GenerationRequest("toy", seed=s, num_nodes=120))
+            for s in range(4)
+        ]
+        stopper = threading.Thread(target=service.stop)
+        stopper.start()
+        # Hammer submit while the drain runs: every attempt must either be
+        # rejected with ServiceStopping or complete normally — and the
+        # drain must finish regardless.
+        rejected = 0
+        deadline = time.monotonic() + 60
+        while stopper.is_alive() and time.monotonic() < deadline:
+            try:
+                service.submit(GenerationRequest("toy", seed=999))
+            except ServiceStopping:
+                rejected += 1
+                time.sleep(0.002)
+        stopper.join(timeout=60)
+        assert not stopper.is_alive(), "stop(drain=True) hung under load"
+        for pending in backlog:
+            pending.result(60.0)
+        assert rejected >= 1
+
     def test_backpressure_when_queue_full(self, registry):
         """Acceptance: a full queue rejects immediately, without blocking."""
         service = GenerationService(
@@ -449,6 +529,54 @@ class TestHTTPAPI:
         for section in ("requests", "latency", "queue", "cache", "registry"):
             assert section in payload
         assert payload["queue"]["workers"] == 2
+
+    def test_negative_seed_is_clean_400(self, http_stack):
+        """Regression: -1 used to surface NumPy's SeedSequence internals
+        as a 500; it must be a clean 400 naming the field."""
+        base, __ = http_stack
+        status, payload, __ = _post(
+            base + "/generate", {"model": "toy", "seed": -1}
+        )
+        assert status == 400
+        assert "seed" in payload["error"]
+        assert "SeedSequence" not in payload["error"]
+
+    def test_client_disconnect_mid_response_is_counted(self, http_stack):
+        """Regression: a client closing its socket mid-response made the
+        handler thread traceback with BrokenPipeError.  It must be
+        swallowed, counted in /metrics, and leave the server serving."""
+        import socket
+        import struct
+        import time
+
+        base, service = http_stack
+        port = int(base.rsplit(":", 1)[1])
+        before = service.metrics()["requests"]["dropped_responses"]
+        body = json.dumps({"model": "toy", "seed": 37}).encode()
+        conn = socket.create_connection(("127.0.0.1", port), timeout=10)
+        # SO_LINGER with zero timeout makes close() send an RST, so the
+        # server's response write fails deterministically.
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        conn.sendall(
+            b"POST /generate HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        conn.close()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            dropped = service.metrics()["requests"]["dropped_responses"]
+            if dropped > before:
+                break
+            time.sleep(0.02)
+        assert service.metrics()["requests"]["dropped_responses"] > before
+        # The handler thread survived; the server keeps serving.
+        status, __, ___ = _post(base + "/generate", {"model": "toy", "seed": 4})
+        assert status == 200
 
     def test_overloaded_returns_503_with_retry_after(self, fitted):
         """Acceptance: full queue → 503 + Retry-After, not a hang."""
